@@ -1,0 +1,39 @@
+"""Extension (not in the paper): training-data scaling of learned recovery.
+
+The paper trains on ~105k trajectories; this reproduction runs at a few
+hundred.  This bench makes the regime difference explicit by sweeping the
+training-set size for a learned method and comparing against the
+data-independent Linear+HMM baseline: the learned curve should rise with
+data while the two-stage baseline stays flat — the crossover the paper's
+Table III sits far beyond.
+"""
+
+import pytest
+
+from repro.experiments import bench_budget, run_experiment
+
+SIZES_FRACTIONS = (0.25, 0.5, 1.0)
+
+
+def test_scaling_learned_vs_linear(benchmark, budget):
+    full = budget["trajectories"]
+    sizes = [max(60, int(full * f)) for f in SIZES_FRACTIONS]
+
+    linear = run_experiment(dataset="chengdu", method="linear_hmm", keep_every=8)
+    learned = {
+        size: run_experiment(dataset="chengdu", method="mtrajrec", keep_every=8,
+                             trajectories=size)
+        for size in sizes
+    }
+
+    print("\nExtension — training-data scaling (Chengdu ×8)")
+    print(f"{'train size':>12} {'mtrajrec F1':>12} {'linear F1':>12}")
+    for size in sizes:
+        print(f"{size:>12} {learned[size].metrics['F1 Score']:>12.4f} "
+              f"{linear.metrics['F1 Score']:>12.4f}")
+
+    f1s = [learned[size].metrics["F1 Score"] for size in sizes]
+    # Shape: more data should not make the learned method substantially
+    # worse (monotone-ish growth; tolerate small-sample noise).
+    assert f1s[-1] >= f1s[0] - 0.03
+    benchmark(lambda: f1s)

@@ -1,0 +1,47 @@
+"""Table II — dataset statistics.
+
+Prints the synthetic analogue of the paper's Table II (trajectory counts,
+road segments, area, travel time, sample intervals) for all five dataset
+configs, and benchmarks dataset materialization (city generation + vehicle
+simulation + sample building).
+"""
+
+import pytest
+
+from repro.datasets import dataset_names, load_dataset
+
+COLUMNS = [
+    "# Trajectories",
+    "# Road segments",
+    "Area (km2)",
+    "Avg travel time (s)",
+    "Sample interval (s)",
+    "Input interval (s)",
+]
+
+
+def test_table2_statistics(benchmark):
+    stats = {}
+    for name in dataset_names():
+        data = load_dataset(name, num_trajectories=40)
+        stats[name] = data.statistics()
+
+    header = f"{'Statistic':<24}" + "".join(f"{n:>14}" for n in stats)
+    print("\nTable II — dataset statistics (synthetic analogues)")
+    print(header)
+    print("-" * len(header))
+    for column in COLUMNS:
+        row = f"{column:<24}"
+        for name in stats:
+            row += f"{stats[name][column]:>14}"
+        print(row)
+
+    # Shape assertions mirroring the paper's relative scales.
+    assert stats["shanghai_l"]["# Road segments"] > stats["chengdu"]["# Road segments"]
+    assert stats["shanghai_l"]["Area (km2)"] > stats["porto"]["Area (km2)"]
+    assert stats["porto"]["Sample interval (s)"] == 15.0
+    assert stats["chengdu"]["Input interval (s)"] == 8 * 12.0
+    assert stats["shanghai_l"]["Input interval (s)"] == 16 * 10.0
+
+    # Benchmark: building a small dataset end to end.
+    benchmark(lambda: load_dataset("chengdu", num_trajectories=10))

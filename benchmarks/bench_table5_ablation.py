@@ -1,0 +1,54 @@
+"""Table V — ablation studies on Chengdu and Porto.
+
+Variants (§VI-G): w/o GRL (plain transformer blocks), w/o GF (concat+FFN
+fusion), w/o GAT (feed-forward graph update), w/o GN (layer norm), w/o GCL
+(no graph classification loss).  Paper finding: the full model wins on F1;
+removing GRL costs the most.
+"""
+
+import os
+
+import pytest
+
+from repro.core import RNTrajRecConfig
+from repro.experiments import bench_budget, format_table, run_experiment
+
+ABLATIONS = ["grl", "gf", "gat", "gn", "gcl"]
+
+
+def _config(**overrides) -> RNTrajRecConfig:
+    budget = bench_budget()
+    return RNTrajRecConfig(
+        hidden_dim=budget["hidden"], num_heads=4, dropout=0.0,
+        receptive_delta=300.0, max_subgraph_nodes=32,
+    ).variant(**overrides)
+
+
+@pytest.mark.parametrize("dataset", ["chengdu", "porto"])
+def test_table5_ablations(dataset, benchmark, budget):
+    # Ablations run at a reduced budget: relative ordering is the target.
+    trajectories = max(120, budget["trajectories"] // 2)
+
+    results = [
+        run_experiment(dataset=dataset, method="rntrajrec", keep_every=8,
+                       trajectories=trajectories, model_config=_config())
+    ]
+    for name in ABLATIONS:
+        results.append(
+            run_experiment(
+                dataset=dataset, method="rntrajrec", keep_every=8,
+                trajectories=trajectories,
+                model_config=_config().ablation(name),
+                variant_tag=f"w/o {name.upper()}",
+            )
+        )
+    print("\n" + format_table(results, f"Table V — ablations on {dataset} (ε_τ = ε_ρ × 8)"))
+
+    full = results[0]
+    # Full model should be at or near the top on F1 (small budgets are
+    # noisy; allow a modest tolerance, as the paper's differences are
+    # fractions of a point).
+    best_f1 = max(r.metrics["F1 Score"] for r in results)
+    assert full.metrics["F1 Score"] >= best_f1 - 0.05
+
+    benchmark(lambda: format_table(results, "Table V"))

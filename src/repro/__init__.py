@@ -1,0 +1,34 @@
+"""repro — a from-scratch reproduction of RNTrajRec (ICDE 2023).
+
+RNTrajRec recovers high-sample, map-matched trajectories from low-sample
+raw GPS traces using a road-network-enhanced spatial-temporal transformer.
+This package reimplements the complete system in pure numpy:
+
+* :mod:`repro.nn` — autograd tensor engine and neural network layers;
+* :mod:`repro.geo` / :mod:`repro.roadnet` — geometry, grids, R-tree,
+  road-network model with a synthetic city generator;
+* :mod:`repro.trajectory` — trajectory model, vehicle simulator, datasets;
+* :mod:`repro.mapmatch` — Newson-Krumm HMM map matching;
+* :mod:`repro.core` — the RNTrajRec model (GridGNN, GPSFormer, GRL,
+  constraint-mask decoder, multi-task loss) and trainer;
+* :mod:`repro.baselines` — the eight comparison methods of the paper;
+* :mod:`repro.eval` — MAE/RMSE (road distance), Recall/Precision/F1,
+  Accuracy, SR%k;
+* :mod:`repro.datasets` / :mod:`repro.experiments` — dataset registry and
+  the cached experiment harness behind every benchmark.
+
+Quickstart::
+
+    from repro.datasets import load_dataset
+    from repro.core import RNTrajRec, Trainer, TrainConfig
+
+    data = load_dataset("chengdu", num_trajectories=200)
+    model = RNTrajRec(data.network)
+    Trainer(model, TrainConfig(epochs=10)).fit(data.train, data.val)
+"""
+
+__version__ = "1.0.0"
+
+from . import geo, nn
+
+__all__ = ["geo", "nn", "__version__"]

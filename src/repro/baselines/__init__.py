@@ -1,0 +1,71 @@
+"""Baselines compared against RNTrajRec in §VI (eight methods)."""
+
+from typing import Optional
+
+from ..core.config import RNTrajRecConfig
+from ..roadnet.network import RoadNetwork
+from .dhtr import DHTRRecovery
+from .encoders import (
+    GTSEncoder,
+    MTrajRecEncoder,
+    NeuTrajEncoder,
+    T2VecEncoder,
+    T3SEncoder,
+    TransformerBaselineEncoder,
+)
+from .kalman import ConstantVelocityKalman, KalmanConfig
+from .linear_hmm import LinearHMMRecovery
+from .seq2seq import InputEmbedding, Seq2SeqRecovery, TrajectoryContextHead
+
+BASELINE_NAMES = (
+    "linear_hmm",
+    "dhtr_hmm",
+    "t2vec",
+    "transformer",
+    "mtrajrec",
+    "t3s",
+    "gts",
+    "neutraj",
+)
+
+
+def build_baseline(name: str, network: RoadNetwork,
+                   config: Optional[RNTrajRecConfig] = None):
+    """Factory for every §VI-A4 baseline by canonical name."""
+    config = config or RNTrajRecConfig()
+    grid = network.make_grid(config.grid_cell_size)
+    name = name.lower()
+    if name == "linear_hmm":
+        return LinearHMMRecovery(network)
+    if name == "dhtr_hmm":
+        return DHTRRecovery(network, config, grid)
+    encoders = {
+        "t2vec": lambda: T2VecEncoder(grid, config),
+        "transformer": lambda: TransformerBaselineEncoder(grid, config),
+        "mtrajrec": lambda: MTrajRecEncoder(grid, config),
+        "t3s": lambda: T3SEncoder(grid, config),
+        "gts": lambda: GTSEncoder(network, grid, config),
+        "neutraj": lambda: NeuTrajEncoder(grid, config),
+    }
+    if name not in encoders:
+        raise ValueError(f"unknown baseline {name!r}; expected one of {BASELINE_NAMES}")
+    return Seq2SeqRecovery(network, encoders[name](), config)
+
+
+__all__ = [
+    "BASELINE_NAMES",
+    "build_baseline",
+    "DHTRRecovery",
+    "GTSEncoder",
+    "MTrajRecEncoder",
+    "NeuTrajEncoder",
+    "T2VecEncoder",
+    "T3SEncoder",
+    "TransformerBaselineEncoder",
+    "ConstantVelocityKalman",
+    "KalmanConfig",
+    "LinearHMMRecovery",
+    "InputEmbedding",
+    "Seq2SeqRecovery",
+    "TrajectoryContextHead",
+]

@@ -1,0 +1,95 @@
+"""Constant-velocity Kalman filter/smoother (Kalman [59]).
+
+DHTR [19] refines its seq2seq coordinate predictions with a Kalman filter
+before map matching; this is that substrate.  State is
+(x, y, vx, vy) with position observations; ``smooth`` runs the RTS
+(Rauch-Tung-Striebel) backward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KalmanConfig:
+    process_noise: float = 1.0      # acceleration noise spectral density
+    observation_noise: float = 25.0  # meters std of measurement noise
+
+
+class ConstantVelocityKalman:
+    """2-D constant-velocity Kalman filter with RTS smoothing."""
+
+    def __init__(self, config: KalmanConfig | None = None) -> None:
+        self.config = config or KalmanConfig()
+
+    def _matrices(self, dt: float) -> Tuple[np.ndarray, np.ndarray]:
+        f = np.eye(4)
+        f[0, 2] = dt
+        f[1, 3] = dt
+        q_scale = self.config.process_noise
+        # Discrete white-noise acceleration model.
+        q = q_scale * np.array(
+            [
+                [dt**4 / 4, 0, dt**3 / 2, 0],
+                [0, dt**4 / 4, 0, dt**3 / 2],
+                [dt**3 / 2, 0, dt**2, 0],
+                [0, dt**3 / 2, 0, dt**2],
+            ]
+        )
+        return f, q
+
+    def smooth(self, xy: np.ndarray, times: np.ndarray) -> np.ndarray:
+        """RTS-smoothed positions for noisy observations ``xy`` (n, 2)."""
+        xy = np.asarray(xy, dtype=np.float64)
+        times = np.asarray(times, dtype=np.float64)
+        n = len(xy)
+        if n == 0:
+            return xy.copy()
+        if n == 1:
+            return xy.copy()
+
+        h = np.zeros((2, 4))
+        h[0, 0] = 1.0
+        h[1, 1] = 1.0
+        r = (self.config.observation_noise**2) * np.eye(2)
+
+        # Forward filter.
+        state = np.array([xy[0, 0], xy[0, 1], 0.0, 0.0])
+        cov = np.diag([r[0, 0], r[1, 1], 100.0, 100.0])
+        states = np.zeros((n, 4))
+        covs = np.zeros((n, 4, 4))
+        pred_states = np.zeros((n, 4))
+        pred_covs = np.zeros((n, 4, 4))
+        states[0], covs[0] = state, cov
+        pred_states[0], pred_covs[0] = state, cov
+        transitions = [np.eye(4)] * n
+
+        for t in range(1, n):
+            dt = max(float(times[t] - times[t - 1]), 1e-6)
+            f, q = self._matrices(dt)
+            transitions[t] = f
+            state_pred = f @ state
+            cov_pred = f @ cov @ f.T + q
+            pred_states[t], pred_covs[t] = state_pred, cov_pred
+
+            innovation = xy[t] - h @ state_pred
+            s = h @ cov_pred @ h.T + r
+            gain = cov_pred @ h.T @ np.linalg.inv(s)
+            state = state_pred + gain @ innovation
+            cov = (np.eye(4) - gain @ h) @ cov_pred
+            states[t], covs[t] = state, cov
+
+        # RTS backward smoothing.
+        smoothed = states.copy()
+        smoothed_cov = covs.copy()
+        for t in range(n - 2, -1, -1):
+            f = transitions[t + 1]
+            gain = covs[t] @ f.T @ np.linalg.pinv(pred_covs[t + 1])
+            smoothed[t] = states[t] + gain @ (smoothed[t + 1] - pred_states[t + 1])
+            smoothed_cov[t] = covs[t] + gain @ (smoothed_cov[t + 1] - pred_covs[t + 1]) @ gain.T
+
+        return smoothed[:, :2]

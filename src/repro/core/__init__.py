@@ -1,0 +1,50 @@
+"""RNTrajRec core: the paper's primary contribution."""
+
+from .config import RNTrajRecConfig
+from .decoder import DecoderOutput, RecoveryDecoder
+from .gps_former import ENV_CONTEXT_DIM, EncoderOutput, GPSFormer, GPSFormerBlock
+from .graph_refinement import (
+    ConcatFusion,
+    GatedFusion,
+    GraphNorm,
+    GraphRefinementLayer,
+    mean_graph_readout,
+    weighted_graph_readout,
+)
+from .grid_gnn import GridGNN, PlainRoadEncoder, build_road_encoder
+from .loss import LossBreakdown, graph_classification_loss, rate_loss, segment_id_loss, total_loss
+from .model import RNTrajRec
+from .subgraph_gen import PointSubGraph, SubGraphBatch, SubGraphGenerator
+from .train import TrainConfig, Trainer, TrainResult, quick_accuracy
+
+__all__ = [
+    "RNTrajRecConfig",
+    "DecoderOutput",
+    "RecoveryDecoder",
+    "ENV_CONTEXT_DIM",
+    "EncoderOutput",
+    "GPSFormer",
+    "GPSFormerBlock",
+    "ConcatFusion",
+    "GatedFusion",
+    "GraphNorm",
+    "GraphRefinementLayer",
+    "mean_graph_readout",
+    "weighted_graph_readout",
+    "GridGNN",
+    "PlainRoadEncoder",
+    "build_road_encoder",
+    "LossBreakdown",
+    "graph_classification_loss",
+    "rate_loss",
+    "segment_id_loss",
+    "total_loss",
+    "RNTrajRec",
+    "PointSubGraph",
+    "SubGraphBatch",
+    "SubGraphGenerator",
+    "TrainConfig",
+    "Trainer",
+    "TrainResult",
+    "quick_accuracy",
+]

@@ -1,0 +1,300 @@
+"""Attention GRU decoder with constraint mask and multi-task heads
+(§IV-G, §V; architecture from MTrajRec [11], reused by every end-to-end
+baseline per the paper's Remark 2).
+
+Per output timestep j:
+
+1. additive attention (Eq. 14) over encoder outputs yields context a(j);
+2. the GRU consumes [x(j-1) ‖ r(j-1) ‖ a(j)] (Eq. 15) where x is the
+   embedding of the previous road segment and r its moving ratio;
+3. the **segment head** scores all |V| segments, multiplied by the
+   constraint mask c_j (Eq. 16) — observed timestamps restrict candidates
+   to segments near the observed fix;
+4. the **rate head** predicts the moving ratio via
+   σ([x(j) ‖ h(j)] · w_rate) (Eq. 17).
+
+Training uses teacher forcing (ground-truth x/r inputs); inference decodes
+greedily with the same constraint masks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.tensor import Tensor, gather_rows
+from ..trajectory.dataset import Batch
+from .config import RNTrajRecConfig
+
+
+@dataclass
+class DecoderOutput:
+    """Stacked per-step decoder outputs."""
+
+    segment_log_probs: Tensor   # (b, l_ρ, |V|) — masked log softmax
+    rates: Tensor               # (b, l_ρ)
+
+
+class RecoveryDecoder(nn.Module):
+    """Multi-task GRU decoder over road segments and moving ratios."""
+
+    def __init__(self, num_segments: int, config: RNTrajRecConfig) -> None:
+        super().__init__()
+        d = config.hidden_dim
+        self.num_segments = num_segments
+        self.config = config
+
+        self.segment_embedding = nn.Embedding(num_segments, d)
+        self.start_embedding = nn.Parameter(nn.init.normal((d,), std=0.02), name="decoder.start")
+        self.attention = nn.AdditiveAttention(d)
+        self.gru = nn.GRUCell(2 * d + 1, d)
+        self.segment_head = nn.Linear(d, num_segments, bias=False)
+        self.rate_head = nn.Linear(2 * d, 1)
+
+    # ------------------------------------------------------------------
+    def _step(
+        self,
+        prev_embed: Tensor,
+        prev_rate: Tensor,
+        state: Tensor,
+        encoder_outputs: Tensor,
+        mask_row: Optional[np.ndarray],
+    ) -> Tuple[Tensor, Tensor, Tensor]:
+        """One decode step; returns (log_probs, new_state, context)."""
+        context = self.attention(state, encoder_outputs)
+        gru_input = nn.concat([prev_embed, prev_rate, context], axis=-1)
+        state = self.gru(gru_input, state)
+        logits = self.segment_head(state)
+        if mask_row is not None:
+            log_probs = F.masked_log_softmax(logits, mask_row, axis=-1)
+        else:
+            log_probs = F.log_softmax(logits, axis=-1)
+        return log_probs, state, context
+
+    def _rate(self, segment_embed: Tensor, state: Tensor) -> Tensor:
+        """Eq. 17 head: sigmoid of a bilinear score."""
+        return self.rate_head(nn.concat([segment_embed, state], axis=-1)).sigmoid()
+
+    # ------------------------------------------------------------------
+    def forward_teacher(
+        self,
+        encoder_outputs: Tensor,
+        initial_state: Tensor,
+        batch: Batch,
+        constraint: np.ndarray,
+        teacher_forcing_ratio: float = 0.5,
+        rng: Optional[np.random.Generator] = None,
+    ) -> DecoderOutput:
+        """Training pass with scheduled sampling (MTrajRec uses ratio 0.5).
+
+        At each step the next-step input is the gold segment/ratio with
+        probability ``teacher_forcing_ratio`` and the model's own greedy
+        prediction otherwise, which closes the train/inference gap of pure
+        teacher forcing.  The rate head is always supervised on the gold
+        segment embedding (its target is the gold ratio).
+        """
+        rng = rng or np.random.default_rng(0)
+        b, l_rho = batch.target_segments.shape
+        state = initial_state
+        prev_embed = self.start_embedding.reshape(1, -1) * Tensor(np.ones((b, 1)))
+        prev_rate = Tensor(np.zeros((b, 1)))
+
+        log_prob_steps: List[Tensor] = []
+        rate_steps: List[Tensor] = []
+        for j in range(l_rho):
+            log_probs, state, _ = self._step(
+                prev_embed, prev_rate, state, encoder_outputs, constraint[:, j, :]
+            )
+            log_prob_steps.append(log_probs)
+            true_embed = self.segment_embedding(batch.target_segments[:, j])
+            rate_steps.append(self._rate(true_embed, state).reshape(b))
+
+            if teacher_forcing_ratio >= 1.0 or rng.random() < teacher_forcing_ratio:
+                prev_embed = true_embed
+                prev_rate = Tensor(batch.target_ratios[:, j][:, None])
+            else:
+                predicted = np.argmax(log_probs.data, axis=-1)
+                prev_embed = self.segment_embedding(predicted)
+                pred_rate = self._rate(prev_embed, state)
+                prev_rate = Tensor(np.clip(pred_rate.data.reshape(b, 1), 0.0, 1.0 - 1e-9))
+
+        return DecoderOutput(
+            segment_log_probs=nn.stack(log_prob_steps, axis=1),
+            rates=nn.stack(rate_steps, axis=1),
+        )
+
+    # ------------------------------------------------------------------
+    def decode_greedy(
+        self,
+        encoder_outputs: Tensor,
+        initial_state: Tensor,
+        target_length: int,
+        constraint: Optional[np.ndarray],
+        reachability: Optional["ReachabilityMask"] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Greedy inference; returns (segments (b, l_ρ), rates (b, l_ρ)).
+
+        ``reachability`` optionally enforces spatial consistency: after the
+        first step, candidates at unobserved timestamps are restricted to
+        segments reachable from the previous prediction within one ε_ρ
+        interval (k-hop neighborhood).  Observed timestamps always keep the
+        paper's distance-based constraint mask.
+        """
+        b = encoder_outputs.shape[0]
+        state = initial_state
+        prev_embed = self.start_embedding.reshape(1, -1) * Tensor(np.ones((b, 1)))
+        prev_rate = Tensor(np.zeros((b, 1)))
+
+        segments = np.zeros((b, target_length), dtype=np.int64)
+        rates = np.zeros((b, target_length))
+        for j in range(target_length):
+            mask_row = constraint[:, j, :].copy() if constraint is not None else None
+            if reachability is not None and j > 0:
+                mask_row = reachability.combine(mask_row, segments[:, j - 1], self.num_segments)
+            log_probs, state, _ = self._step(prev_embed, prev_rate, state, encoder_outputs, mask_row)
+            predicted = np.argmax(log_probs.data, axis=-1)
+            segments[:, j] = predicted
+            pred_embed = self.segment_embedding(predicted)
+            rate = self._rate(pred_embed, state)
+            rates[:, j] = np.clip(rate.data.reshape(b), 0.0, 1.0 - 1e-9)
+            prev_embed = pred_embed
+            prev_rate = Tensor(rates[:, j][:, None])
+        return segments, rates
+
+
+    # ------------------------------------------------------------------
+    def decode_beam(
+        self,
+        encoder_outputs: Tensor,
+        initial_state: Tensor,
+        target_length: int,
+        constraint: Optional[np.ndarray],
+        beam_width: int = 4,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Beam-search decoding (extension; the paper decodes greedily).
+
+        Tracks ``beam_width`` hypotheses per trajectory, scoring by summed
+        masked log-probabilities.  Decodes each batch element independently
+        (beam state bookkeeping dominates, so the loop is per-sample); the
+        rate head runs once along the winning hypothesis.
+        """
+        batch_size = encoder_outputs.shape[0]
+        segments = np.zeros((batch_size, target_length), dtype=np.int64)
+        rates = np.zeros((batch_size, target_length))
+
+        for i in range(batch_size):
+            enc_i = encoder_outputs[i : i + 1]
+            # Each hypothesis: (score, segment list, state, prev_embed, prev_rate)
+            beams = [(
+                0.0,
+                [],
+                initial_state[i : i + 1],
+                self.start_embedding.reshape(1, -1),
+                Tensor(np.zeros((1, 1))),
+            )]
+            for j in range(target_length):
+                mask_row = constraint[i : i + 1, j, :] if constraint is not None else None
+                candidates = []
+                for score, history, state, prev_embed, prev_rate in beams:
+                    log_probs, new_state, _ = self._step(
+                        prev_embed, prev_rate, state, enc_i, mask_row
+                    )
+                    flat = log_probs.data.reshape(-1)
+                    top = np.argpartition(-flat, min(beam_width, len(flat) - 1))[:beam_width]
+                    for sid in top:
+                        candidates.append((score + float(flat[sid]), history + [int(sid)],
+                                           new_state, int(sid)))
+                candidates.sort(key=lambda c: -c[0])
+                beams = []
+                for score, history, state, sid in candidates[:beam_width]:
+                    embed = self.segment_embedding(np.array([sid]))
+                    rate = self._rate(embed, state)
+                    beams.append((score, history, state, embed,
+                                  Tensor(np.clip(rate.data, 0.0, 1.0 - 1e-9))))
+            best = max(beams, key=lambda b: b[0])
+            segments[i] = best[1]
+            # Re-run the rate head along the winning path for per-step rates.
+            state = initial_state[i : i + 1]
+            prev_embed = self.start_embedding.reshape(1, -1)
+            prev_rate = Tensor(np.zeros((1, 1)))
+            for j in range(target_length):
+                _, state, _ = self._step(
+                    prev_embed, prev_rate, state, enc_i,
+                    constraint[i : i + 1, j, :] if constraint is not None else None,
+                )
+                prev_embed = self.segment_embedding(np.array([segments[i, j]]))
+                rate = self._rate(prev_embed, state)
+                rates[i, j] = float(np.clip(rate.data.reshape(-1)[0], 0.0, 1.0 - 1e-9))
+                prev_rate = Tensor(np.full((1, 1), rates[i, j]))
+        return segments, rates
+
+
+def interpolation_prior(batch: Batch, network, scale: float, floor: float) -> np.ndarray:
+    """(b, l_ρ, |V|) decode prior from linear position interpolation.
+
+    For each target timestamp the low-sample input is linearly interpolated
+    to an approximate position; segments within ~3·scale meters receive
+    weight exp(-d²/scale²) (Eq. 5's kernel) and everything else ``floor``.
+    Combining this prior with the learned logits at decode time is a
+    Bayesian product of experts: the uniform-speed prior anchors positions
+    while the model disambiguates direction, route and timing.
+    """
+    b, l_rho = batch.target_segments.shape
+    num_segments = network.num_segments
+    prior = np.full((b, l_rho, num_segments), floor)
+    radius = 3.0 * scale
+    for i, sample in enumerate(batch.samples):
+        low = sample.raw_low
+        xs = np.interp(batch.target_times[i], low.times, low.xy[:, 0])
+        ys = np.interp(batch.target_times[i], low.times, low.xy[:, 1])
+        for j in range(l_rho):
+            hits = network.segments_within(float(xs[j]), float(ys[j]), radius)
+            for sid, dist in hits:
+                prior[i, j, sid] = max(np.exp(-(dist / scale) ** 2), floor)
+    return prior
+
+
+class ReachabilityMask:
+    """k-hop forward reachability over the road graph for decoding.
+
+    The set R(s) = {s} ∪ N_out(s) ∪ ... ∪ N_out^k(s) contains every segment
+    a vehicle can occupy one ε_ρ interval after being on s.  Combining this
+    with the observed-step constraint mask keeps greedy decoding spatially
+    consistent — the motivation the paper gives for road-network awareness
+    (§I); the original MTrajRec decoder omits it and relies on massive
+    training data instead (see DESIGN.md).
+    """
+
+    def __init__(self, out_neighbors: List[List[int]], hops: int = 2,
+                 escape_weight: float = 0.02) -> None:
+        self.hops = hops
+        self.escape_weight = escape_weight
+        self._sets: List[np.ndarray] = []
+        for start, direct in enumerate(out_neighbors):
+            frontier = {start}
+            reached = {start}
+            for _ in range(hops):
+                frontier = {n for s in frontier for n in out_neighbors[s]} - reached
+                reached |= frontier
+            self._sets.append(np.fromiter(reached, dtype=np.int64))
+
+    def combine(self, mask_row: Optional[np.ndarray], previous: np.ndarray,
+                num_segments: int) -> np.ndarray:
+        """Down-weight (b, |V|) mask entries unreachable from ``previous``.
+
+        Soft masking: unreachable segments keep ``escape_weight`` of their
+        mask weight rather than zero, so a confident model can recover from
+        an earlier wrong turn instead of being locked into it.
+        """
+        b = len(previous)
+        if mask_row is None:
+            mask_row = np.ones((b, num_segments))
+        out = mask_row * self.escape_weight
+        for i in range(b):
+            reachable = self._sets[int(previous[i])]
+            out[i, reachable] = mask_row[i, reachable]
+        return out

@@ -1,0 +1,111 @@
+"""RNTrajRec — the end-to-end model (Fig. 2).
+
+``GridGNN`` (road representation) → ``SubGraphGeneration`` → ``GPSFormer``
+(spatial-temporal transformer encoder) → attention GRU decoder with
+constraint masks and multi-task heads.  The public surface is:
+
+* :meth:`RNTrajRec.compute_loss` — teacher-forced training loss (Eq. 19);
+* :meth:`RNTrajRec.recover` — greedy recovery of the ε_ρ trajectory grid;
+* :meth:`RNTrajRec.recover_trajectories` — the same, packaged as
+  :class:`~repro.trajectory.trajectory.MatchedTrajectory` objects.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor
+from ..roadnet.network import RoadNetwork
+from ..trajectory.dataset import Batch
+from ..trajectory.trajectory import MatchedTrajectory
+from .config import RNTrajRecConfig
+from .decoder import ReachabilityMask, RecoveryDecoder
+from .gps_former import EncoderOutput, GPSFormer
+from .loss import LossBreakdown, total_loss
+
+
+class RNTrajRec(nn.Module):
+    """Road Network enhanced Trajectory Recovery model."""
+
+    def __init__(self, network: RoadNetwork, config: Optional[RNTrajRecConfig] = None) -> None:
+        super().__init__()
+        self.network = network
+        self.config = config or RNTrajRecConfig()
+        self.encoder = GPSFormer(network, self.config)
+        self.decoder = RecoveryDecoder(network.num_segments, self.config)
+        # Projection w of Eq. 18 (graph classification loss).
+        self.graph_projection = nn.Parameter(
+            nn.init.xavier_uniform(self.config.hidden_dim, 1), name="model.graph_projection"
+        )
+        self._reachability: Optional[ReachabilityMask] = None
+
+    @property
+    def reachability(self) -> Optional[ReachabilityMask]:
+        if self.config.reachability_hops <= 0:
+            return None
+        if self._reachability is None:
+            self._reachability = ReachabilityMask(
+                self.network.out_neighbors, hops=self.config.reachability_hops
+            )
+        return self._reachability
+
+    # ------------------------------------------------------------------
+    def encode(self, batch: Batch) -> EncoderOutput:
+        return self.encoder(batch)
+
+    def compute_loss(self, batch: Batch, teacher_forcing_ratio: float = 0.5,
+                     rng: Optional[np.random.Generator] = None) -> LossBreakdown:
+        """Scheduled-sampling multi-task loss on one mini-batch."""
+        encoded = self.encode(batch)
+        constraint = batch.constraint_tensor(self.network.num_segments)
+        decoded = self.decoder.forward_teacher(
+            encoded.point_features, encoded.trajectory_feature, batch, constraint,
+            teacher_forcing_ratio=teacher_forcing_ratio, rng=rng,
+        )
+        return total_loss(
+            decoded,
+            batch,
+            encoded.node_features,
+            encoded.graphs,
+            self.graph_projection,
+            lambda_rate=self.config.lambda_rate,
+            lambda_graph=self.config.lambda_graph,
+            use_graph_loss=self.config.use_graph_loss,
+        )
+
+    # ------------------------------------------------------------------
+    def recover(self, batch: Batch, beam_width: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+        """Recover segments/rates (b, l_ρ); greedy, or beam search if
+        ``beam_width`` > 1."""
+        encoded = self.encode(batch)
+        constraint = batch.constraint_tensor(self.network.num_segments)
+        if self.config.decode_prior_scale > 0:
+            from .decoder import interpolation_prior
+
+            constraint = constraint * interpolation_prior(
+                batch, self.network, self.config.decode_prior_scale,
+                self.config.decode_prior_floor,
+            )
+        if beam_width > 1:
+            return self.decoder.decode_beam(
+                encoded.point_features, encoded.trajectory_feature,
+                batch.target_length, constraint, beam_width=beam_width,
+            )
+        return self.decoder.decode_greedy(
+            encoded.point_features,
+            encoded.trajectory_feature,
+            batch.target_length,
+            constraint,
+            reachability=self.reachability,
+        )
+
+    def recover_trajectories(self, batch: Batch) -> List[MatchedTrajectory]:
+        """Recovered trajectories as first-class objects."""
+        segments, rates = self.recover(batch)
+        return [
+            MatchedTrajectory(segments[i], rates[i], batch.target_times[i])
+            for i in range(batch.size)
+        ]

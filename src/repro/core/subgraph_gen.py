@@ -1,0 +1,141 @@
+"""Sub-Graph Generation (§IV-C).
+
+Each GPS point p becomes a weighted directed sub-graph of the road network:
+the segments within δ meters of p, the network edges among them, and
+per-segment influence weights ω(e, p) = exp(-dist²(e, p)/γ²) (Eq. 5).
+
+For batched processing the sub-graphs of all points of all trajectories in
+a mini-batch are flattened into one disjoint union: a single node array
+with ``graph_ids`` marking which (trajectory, timestep) each node belongs
+to.  GNN layers and pooling then run once over the union.
+
+Sub-graph structure depends only on the (static) input trajectories, so
+:class:`SubGraphGenerator` memoizes per-point results keyed on quantized
+coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.distance import gaussian_weight
+from ..roadnet.network import RoadNetwork
+from .config import RNTrajRecConfig
+
+
+@dataclass
+class PointSubGraph:
+    """Sub-graph of a single GPS point (segment ids, local edges, weights)."""
+
+    segments: np.ndarray      # (v,) road segment ids
+    edges: np.ndarray         # (2, e) indices local to ``segments``
+    weights: np.ndarray       # (v,) influence weights ω(e, p)
+
+
+@dataclass
+class SubGraphBatch:
+    """Disjoint union of the sub-graphs of a (batch, length) point grid."""
+
+    node_segments: np.ndarray  # (total_nodes,) road segment ids
+    node_weights: np.ndarray   # (total_nodes,) Eq. 5 weights
+    graph_ids: np.ndarray      # (total_nodes,) flat (b * l) graph index
+    edge_index: np.ndarray     # (2, total_edges) into the flat node array
+    batch_size: int
+    length: int
+
+    @property
+    def num_graphs(self) -> int:
+        return self.batch_size * self.length
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_segments)
+
+
+class SubGraphGenerator:
+    """Builds :class:`PointSubGraph`/:class:`SubGraphBatch` objects."""
+
+    def __init__(self, network: RoadNetwork, config: RNTrajRecConfig) -> None:
+        self.network = network
+        self.config = config
+        self._cache: Dict[Tuple[int, int], PointSubGraph] = {}
+        # Per-segment local adjacency is rebuilt per sub-graph from the
+        # network's neighbor lists; set lookups keep this O(v + e).
+
+    # ------------------------------------------------------------------
+    def point_subgraph(self, x: float, y: float) -> PointSubGraph:
+        """The weighted sub-graph around one GPS point (cached)."""
+        key = (int(round(x)), int(round(y)))  # 1 m quantization
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        cfg = self.config
+        hits = self.network.segments_within(x, y, cfg.receptive_delta)
+        if not hits:
+            sid, dist, _ = self.network.nearest_segment(x, y)
+            hits = [(sid, dist)]
+        hits = hits[: cfg.max_subgraph_nodes]
+
+        segments = np.asarray([sid for sid, _ in hits], dtype=np.int64)
+        distances = np.asarray([d for _, d in hits], dtype=np.float64)
+        weights = np.maximum(gaussian_weight(distances, cfg.influence_gamma), 1e-8)
+
+        local = {int(sid): i for i, sid in enumerate(segments)}
+        edge_src: List[int] = []
+        edge_dst: List[int] = []
+        for sid, i in local.items():
+            for neighbor in self.network.out_neighbors[sid]:
+                j = local.get(int(neighbor))
+                if j is not None:
+                    edge_src.append(i)
+                    edge_dst.append(j)
+        # Self-loops keep every node reachable by its own message.
+        for i in range(len(segments)):
+            edge_src.append(i)
+            edge_dst.append(i)
+
+        result = PointSubGraph(
+            segments=segments,
+            edges=np.asarray([edge_src, edge_dst], dtype=np.int64),
+            weights=weights,
+        )
+        self._cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    def batch(self, xy: np.ndarray) -> SubGraphBatch:
+        """Flatten sub-graphs of an (b, l, 2) point array into one union."""
+        xy = np.asarray(xy, dtype=np.float64)
+        if xy.ndim != 3 or xy.shape[2] != 2:
+            raise ValueError(f"expected (batch, length, 2) points, got {xy.shape}")
+        b, l = xy.shape[0], xy.shape[1]
+
+        node_segments: List[np.ndarray] = []
+        node_weights: List[np.ndarray] = []
+        graph_ids: List[np.ndarray] = []
+        edge_blocks: List[np.ndarray] = []
+        offset = 0
+        for gid, (px, py) in enumerate(xy.reshape(-1, 2)):
+            sub = self.point_subgraph(float(px), float(py))
+            v = len(sub.segments)
+            node_segments.append(sub.segments)
+            node_weights.append(sub.weights)
+            graph_ids.append(np.full(v, gid, dtype=np.int64))
+            edge_blocks.append(sub.edges + offset)
+            offset += v
+
+        return SubGraphBatch(
+            node_segments=np.concatenate(node_segments),
+            node_weights=np.concatenate(node_weights),
+            graph_ids=np.concatenate(graph_ids),
+            edge_index=np.concatenate(edge_blocks, axis=1),
+            batch_size=b,
+            length=l,
+        )
+
+    def clear_cache(self) -> None:
+        self._cache.clear()

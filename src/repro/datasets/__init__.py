@@ -1,0 +1,27 @@
+"""Synthetic dataset registry mirroring the paper's five corpora."""
+
+from .registry import (
+    CHENGDU,
+    CHENGDU_FEW,
+    PORTO,
+    SHANGHAI,
+    SHANGHAI_L,
+    DatasetSpec,
+    LoadedDataset,
+    dataset_names,
+    get_spec,
+    load_dataset,
+)
+
+__all__ = [
+    "CHENGDU",
+    "CHENGDU_FEW",
+    "PORTO",
+    "SHANGHAI",
+    "SHANGHAI_L",
+    "DatasetSpec",
+    "LoadedDataset",
+    "dataset_names",
+    "get_spec",
+    "load_dataset",
+]

@@ -1,0 +1,172 @@
+"""Dataset registry — synthetic analogues of the paper's five datasets.
+
+Table II's corpora are proprietary taxi traces (Shanghai, Chengdu) and the
+public Porto dataset over OSM road networks; none are available offline.
+Each entry here is a deterministic recipe (city generator + simulator +
+sampling config) whose *relative* characteristics mirror the paper:
+
+* ``chengdu``    — dense medium city, ε_ρ = 12 s (paper: 8.3×8.3 km²,
+  8 781 segments);
+* ``porto``      — smaller, sparser, ε_ρ = 15 s, noisier GPS (paper:
+  6.8×7.2 km², 12 613 segments, 15 s raw interval);
+* ``shanghai_l`` — the largest area including suburbs, ε_ρ = 10 s (paper:
+  23.0×30.8 km², 34 986 segments) — exercises scalability;
+* ``shanghai``   — a mid-size slice of Shanghai (Table IV);
+* ``chengdu_few``— Chengdu's city with ~20 % of the trajectories
+  (Table IV's few-shot setting).
+
+Everything is scaled down ~linearly so a full benchmark run fits a CPU
+budget; the shape of inter-method comparisons is what the harness checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..roadnet.generator import CityConfig, generate_city
+from ..roadnet.network import RoadNetwork
+from ..trajectory.dataset import DatasetConfig, RecoverySample, build_samples, train_val_test_split
+from ..trajectory.simulate import SimulationConfig, TrajectorySimulator
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named, fully deterministic dataset recipe."""
+
+    name: str
+    city: CityConfig
+    simulation: SimulationConfig
+    dataset: DatasetConfig
+    num_trajectories: int = 600
+
+    def scaled(self, fraction: float) -> "DatasetSpec":
+        """A copy with the trajectory count scaled (Chengdu-Few uses 0.2)."""
+        return replace(self, num_trajectories=max(20, int(self.num_trajectories * fraction)))
+
+
+_REGISTRY: Dict[str, DatasetSpec] = {}
+
+
+def _register(spec: DatasetSpec) -> DatasetSpec:
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+CHENGDU = _register(
+    DatasetSpec(
+        name="chengdu",
+        city=CityConfig(width=1500.0, height=1500.0, block=250.0, minor_fraction=0.5,
+                        elevated_rows=(3,), ramp_every=2, seed=11),
+        simulation=SimulationConfig(sample_interval=12.0, target_points=25,
+                                    gps_noise_std=12.0, seed=101),
+        dataset=DatasetConfig(keep_every=8, seed=201),
+    )
+)
+
+PORTO = _register(
+    DatasetSpec(
+        name="porto",
+        city=CityConfig(width=1250.0, height=1250.0, block=250.0, minor_fraction=0.35,
+                        elevated_rows=(2,), ramp_every=3, jitter=10.0, seed=13),
+        simulation=SimulationConfig(sample_interval=15.0, target_points=21,
+                                    gps_noise_std=15.0, seed=103),
+        dataset=DatasetConfig(keep_every=8, seed=203),
+    )
+)
+
+SHANGHAI_L = _register(
+    DatasetSpec(
+        name="shanghai_l",
+        city=CityConfig(width=2250.0, height=1750.0, block=250.0, minor_fraction=0.3,
+                        elevated_rows=(3, 5), ramp_every=3, seed=17),
+        simulation=SimulationConfig(sample_interval=10.0, target_points=33,
+                                    gps_noise_std=12.0, seed=107),
+        dataset=DatasetConfig(keep_every=16, seed=207),
+    )
+)
+
+SHANGHAI = _register(
+    DatasetSpec(
+        name="shanghai",
+        city=CityConfig(width=1500.0, height=1250.0, block=250.0, minor_fraction=0.4,
+                        elevated_rows=(2,), ramp_every=2, seed=19),
+        simulation=SimulationConfig(sample_interval=10.0, target_points=25,
+                                    gps_noise_std=12.0, seed=109),
+        dataset=DatasetConfig(keep_every=8, seed=209),
+    )
+)
+
+CHENGDU_FEW = _register(replace(CHENGDU.scaled(0.2), name="chengdu_few"))
+
+
+def dataset_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def get_spec(name: str) -> DatasetSpec:
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown dataset {name!r}; available: {dataset_names()}")
+    return _REGISTRY[name]
+
+
+@dataclass
+class LoadedDataset:
+    """A materialized dataset: network + split recovery samples."""
+
+    spec: DatasetSpec
+    network: RoadNetwork
+    train: List[RecoverySample]
+    val: List[RecoverySample]
+    test: List[RecoverySample]
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def statistics(self) -> Dict[str, float]:
+        """Table-II style statistics."""
+        all_samples = self.train + self.val + self.test
+        durations = [s.target.times[-1] - s.target.times[0] for s in all_samples]
+        x0, y0, x1, y1 = self.network.bounds()
+        return {
+            "# Trajectories": len(all_samples),
+            "# Road segments": self.network.num_segments,
+            "Area (km2)": round((x1 - x0) / 1000.0 * (y1 - y0) / 1000.0, 2),
+            "Avg travel time (s)": round(float(sum(durations) / len(durations)), 2),
+            "Sample interval (s)": self.spec.simulation.sample_interval,
+            "Input interval (s)": self.spec.simulation.sample_interval * self.spec.dataset.keep_every,
+        }
+
+
+_NETWORK_CACHE: Dict[Tuple, RoadNetwork] = {}
+
+
+def load_dataset(
+    name: str,
+    num_trajectories: Optional[int] = None,
+    keep_every: Optional[int] = None,
+    split_seed: int = 0,
+) -> LoadedDataset:
+    """Build (deterministically) the named dataset, optionally resized.
+
+    ``keep_every`` overrides the ε_τ/ε_ρ ratio (Table III evaluates
+    Chengdu at both 8 and 16).
+    """
+    spec = get_spec(name)
+    if num_trajectories is not None:
+        spec = replace(spec, num_trajectories=num_trajectories)
+    if keep_every is not None:
+        spec = replace(spec, dataset=replace(spec.dataset, keep_every=keep_every))
+
+    city_key = tuple(sorted(vars(spec.city).items()))
+    network = _NETWORK_CACHE.get(city_key)
+    if network is None:
+        network = generate_city(spec.city)
+        _NETWORK_CACHE[city_key] = network
+
+    simulator = TrajectorySimulator(network, spec.simulation)
+    pairs = simulator.simulate(spec.num_trajectories)
+    samples = build_samples(pairs, network, spec.dataset)
+    train, val, test = train_val_test_split(samples, seed=split_seed)
+    return LoadedDataset(spec=spec, network=network, train=train, val=val, test=test)

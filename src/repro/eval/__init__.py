@@ -1,0 +1,28 @@
+"""Evaluation metrics and harness."""
+
+from .evaluate import EvaluationReport, evaluate_model, evaluate_sr_at_k, run_recovery
+from .metrics import (
+    RecoveryMetrics,
+    distance_errors,
+    elevated_window,
+    evaluate_recovery,
+    f1_score,
+    path_precision_recall,
+    point_accuracy,
+    sr_at_k,
+)
+
+__all__ = [
+    "EvaluationReport",
+    "evaluate_model",
+    "evaluate_sr_at_k",
+    "run_recovery",
+    "RecoveryMetrics",
+    "distance_errors",
+    "elevated_window",
+    "evaluate_recovery",
+    "f1_score",
+    "path_precision_recall",
+    "point_accuracy",
+    "sr_at_k",
+]

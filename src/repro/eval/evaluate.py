@@ -1,0 +1,71 @@
+"""End-to-end evaluation: run any recovery model over samples → metrics.
+
+Works with every method in the repository — learned models and two-stage
+pipelines — because all expose ``recover_trajectories(batch)``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..roadnet.network import RoadNetwork
+from ..roadnet.shortest_path import ShortestPathEngine
+from ..trajectory.dataset import RecoverySample, iterate_batches
+from ..trajectory.trajectory import MatchedTrajectory
+from .metrics import RecoveryMetrics, evaluate_recovery, sr_at_k
+
+
+@dataclass
+class EvaluationReport:
+    """Metrics plus the raw predictions (reused by SR%k / case studies)."""
+
+    metrics: RecoveryMetrics
+    predictions: List[MatchedTrajectory]
+    truths: List[MatchedTrajectory]
+    inference_seconds_per_trajectory: float
+
+
+def run_recovery(model, samples: Sequence[RecoverySample],
+                 batch_size: int = 16) -> Tuple[List[MatchedTrajectory], List[MatchedTrajectory], float]:
+    """Recover all samples; returns (predictions, truths, sec/trajectory)."""
+    predictions: List[MatchedTrajectory] = []
+    truths: List[MatchedTrajectory] = []
+    if hasattr(model, "eval"):
+        model.eval()
+    start = time.perf_counter()
+    for batch in iterate_batches(samples, batch_size):
+        predictions.extend(model.recover_trajectories(batch))
+        truths.extend(sample.target for sample in batch.samples)
+    elapsed = time.perf_counter() - start
+    per_traj = elapsed / max(len(predictions), 1)
+    return predictions, truths, per_traj
+
+
+def evaluate_model(
+    model,
+    samples: Sequence[RecoverySample],
+    engine: ShortestPathEngine,
+    batch_size: int = 16,
+) -> EvaluationReport:
+    """Full Table-III evaluation of one model on one sample set."""
+    predictions, truths, per_traj = run_recovery(model, samples, batch_size)
+    metrics = evaluate_recovery(truths, predictions, engine)
+    return EvaluationReport(
+        metrics=metrics,
+        predictions=predictions,
+        truths=truths,
+        inference_seconds_per_trajectory=per_traj,
+    )
+
+
+def evaluate_sr_at_k(
+    report: EvaluationReport,
+    network: RoadNetwork,
+    thresholds: Sequence[float] = (0.4, 0.5, 0.6, 0.7, 0.8),
+) -> dict:
+    """Fig.-4 SR%k computed from an existing evaluation report."""
+    return sr_at_k(report.truths, report.predictions, network, thresholds)

@@ -1,0 +1,25 @@
+"""Experiment harness used by the per-table/figure benchmarks."""
+
+from .harness import (
+    METHOD_NAMES,
+    SR_THRESHOLDS,
+    ExperimentResult,
+    bench_budget,
+    build_method,
+    format_table,
+    get_dataset,
+    get_engine,
+    run_experiment,
+)
+
+__all__ = [
+    "METHOD_NAMES",
+    "SR_THRESHOLDS",
+    "ExperimentResult",
+    "bench_budget",
+    "build_method",
+    "format_table",
+    "get_dataset",
+    "get_engine",
+    "run_experiment",
+]

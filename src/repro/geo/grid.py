@@ -1,0 +1,88 @@
+"""Uniform grid partition of the study area (§IV-B).
+
+GridGNN represents each road segment as the sequence of grid cells its
+geometry passes through; the decoder input also uses the (x, y) grid index
+of each GPS point.  The paper uses 50 m × 50 m cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Grid:
+    """A rows × cols partition of the rectangle [x0, x1) × [y0, y1)."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+    cell_size: float = 50.0
+
+    @property
+    def cols(self) -> int:
+        return max(1, int(np.ceil((self.x1 - self.x0) / self.cell_size)))
+
+    @property
+    def rows(self) -> int:
+        return max(1, int(np.ceil((self.y1 - self.y0) / self.cell_size)))
+
+    @property
+    def num_cells(self) -> int:
+        return self.rows * self.cols
+
+    def cell_of(self, x, y) -> Tuple[np.ndarray, np.ndarray]:
+        """(row, col) indices of points, clamped to the grid boundary."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        col = np.clip(((x - self.x0) // self.cell_size).astype(np.int64), 0, self.cols - 1)
+        row = np.clip(((y - self.y0) // self.cell_size).astype(np.int64), 0, self.rows - 1)
+        return row, col
+
+    def flat_index(self, row, col) -> np.ndarray:
+        """Flattened cell index used for embedding lookup tables."""
+        return np.asarray(row, dtype=np.int64) * self.cols + np.asarray(col, dtype=np.int64)
+
+    def flat_cell_of(self, x, y) -> np.ndarray:
+        row, col = self.cell_of(x, y)
+        return self.flat_index(row, col)
+
+    def cell_center(self, row: int, col: int) -> Tuple[float, float]:
+        cx = self.x0 + (col + 0.5) * self.cell_size
+        cy = self.y0 + (row + 0.5) * self.cell_size
+        return cx, cy
+
+    def traverse_polyline(self, polyline: np.ndarray, step: float | None = None) -> List[Tuple[int, int]]:
+        """Ordered, deduplicated cells a polyline passes through.
+
+        Samples the polyline at ``step`` meters (default: half a cell) and
+        collapses consecutive duplicates — the grid sequence S_i that feeds
+        GridGNN's grid GRU (Eq. 1).
+        """
+        polyline = np.asarray(polyline, dtype=np.float64)
+        if polyline.ndim != 2 or len(polyline) < 2:
+            raise ValueError("polyline must contain at least two vertices")
+        step = step or self.cell_size / 2.0
+
+        seg_vec = polyline[1:] - polyline[:-1]
+        seg_len = np.linalg.norm(seg_vec, axis=1)
+        total = float(seg_len.sum())
+        count = max(2, int(np.ceil(total / step)) + 1)
+        distances = np.linspace(0.0, total, count)
+
+        cumulative = np.concatenate([[0.0], np.cumsum(seg_len)])
+        indices = np.clip(np.searchsorted(cumulative, distances, side="right") - 1, 0, len(seg_len) - 1)
+        leftover = distances - cumulative[indices]
+        frac = leftover / np.maximum(seg_len[indices], 1e-12)
+        points = polyline[indices] + frac[:, None] * seg_vec[indices]
+
+        rows, cols = self.cell_of(points[:, 0], points[:, 1])
+        cells: List[Tuple[int, int]] = []
+        for r, c in zip(rows.tolist(), cols.tolist()):
+            if not cells or cells[-1] != (r, c):
+                cells.append((r, c))
+        return cells

@@ -1,0 +1,127 @@
+"""A packed R-tree over rectangles (Guttman [51], STR bulk loading).
+
+The Sub-Graph Generation module must find every road segment within δ
+meters of a GPS point for each point of each trajectory, so the lookup is
+on the hot path.  The tree is bulk-loaded with the Sort-Tile-Recursive
+packing and answers rectangle/radius queries; it stores integer item ids so
+callers keep ownership of the geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    bbox: Tuple[float, float, float, float]  # (xmin, ymin, xmax, ymax)
+    children: List["_Node"] = field(default_factory=list)
+    items: List[int] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+def _union_bbox(boxes: np.ndarray) -> Tuple[float, float, float, float]:
+    return (
+        float(boxes[:, 0].min()),
+        float(boxes[:, 1].min()),
+        float(boxes[:, 2].max()),
+        float(boxes[:, 3].max()),
+    )
+
+
+def _intersects(a: Tuple[float, float, float, float], b: Tuple[float, float, float, float]) -> bool:
+    return not (a[2] < b[0] or b[2] < a[0] or a[3] < b[1] or b[3] < a[1])
+
+
+class RTree:
+    """Static R-tree bulk-loaded from item bounding boxes."""
+
+    def __init__(self, bboxes: np.ndarray, leaf_capacity: int = 16) -> None:
+        bboxes = np.asarray(bboxes, dtype=np.float64)
+        if bboxes.ndim != 2 or bboxes.shape[1] != 4:
+            raise ValueError("bboxes must have shape (n, 4): xmin, ymin, xmax, ymax")
+        if np.any(bboxes[:, 0] > bboxes[:, 2]) or np.any(bboxes[:, 1] > bboxes[:, 3]):
+            raise ValueError("malformed bounding boxes (min > max)")
+        self._bboxes = bboxes
+        self._leaf_capacity = max(2, leaf_capacity)
+        self.root: Optional[_Node] = self._build(np.arange(len(bboxes))) if len(bboxes) else None
+
+    # ------------------------------------------------------------------
+    # STR bulk loading
+    # ------------------------------------------------------------------
+    def _build(self, ids: np.ndarray) -> _Node:
+        if len(ids) <= self._leaf_capacity:
+            return _Node(bbox=_union_bbox(self._bboxes[ids]), items=list(map(int, ids)))
+
+        boxes = self._bboxes[ids]
+        centers_x = (boxes[:, 0] + boxes[:, 2]) / 2.0
+        centers_y = (boxes[:, 1] + boxes[:, 3]) / 2.0
+
+        leaf_count = int(np.ceil(len(ids) / self._leaf_capacity))
+        slice_count = max(1, int(np.ceil(np.sqrt(leaf_count))))
+        per_slice = int(np.ceil(len(ids) / slice_count))
+
+        order_x = np.argsort(centers_x, kind="stable")
+        children: List[_Node] = []
+        for i in range(0, len(ids), per_slice):
+            strip = order_x[i : i + per_slice]
+            strip_sorted = strip[np.argsort(centers_y[strip], kind="stable")]
+            for j in range(0, len(strip_sorted), self._leaf_capacity):
+                chunk = ids[strip_sorted[j : j + self._leaf_capacity]]
+                children.append(
+                    _Node(bbox=_union_bbox(self._bboxes[chunk]), items=list(map(int, chunk)))
+                )
+
+        # Pack upward until a single root remains.
+        while len(children) > 1:
+            parents: List[_Node] = []
+            for i in range(0, len(children), self._leaf_capacity):
+                group = children[i : i + self._leaf_capacity]
+                bbox = (
+                    min(c.bbox[0] for c in group),
+                    min(c.bbox[1] for c in group),
+                    max(c.bbox[2] for c in group),
+                    max(c.bbox[3] for c in group),
+                )
+                parents.append(_Node(bbox=bbox, children=group))
+            children = parents
+        return children[0]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query_rect(self, xmin: float, ymin: float, xmax: float, ymax: float) -> List[int]:
+        """Ids of items whose bounding box intersects the query rectangle."""
+        if self.root is None:
+            return []
+        query = (xmin, ymin, xmax, ymax)
+        result: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not _intersects(node.bbox, query):
+                continue
+            if node.is_leaf:
+                for item in node.items:
+                    if _intersects(tuple(self._bboxes[item]), query):
+                        result.append(item)
+            else:
+                stack.extend(node.children)
+        return result
+
+    def query_radius(self, x: float, y: float, radius: float) -> List[int]:
+        """Candidate ids within ``radius`` of (x, y) — bbox-level filter.
+
+        Callers refine with exact point-to-geometry distance; the tree
+        guarantees no false negatives.
+        """
+        return self.query_rect(x - radius, y - radius, x + radius, y + radius)
+
+    def __len__(self) -> int:
+        return len(self._bboxes)

@@ -1,0 +1,5 @@
+"""Map matching substrate (Newson-Krumm HMM)."""
+
+from .hmm import HMMConfig, HMMMapMatcher
+
+__all__ = ["HMMConfig", "HMMMapMatcher"]

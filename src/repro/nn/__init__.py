@@ -1,0 +1,74 @@
+"""``repro.nn`` — a pure-numpy neural network substrate.
+
+The RNTrajRec paper builds on PyTorch; PyTorch is not available in this
+environment, so this package reimplements the needed subset: a reverse-mode
+autograd :class:`~repro.nn.tensor.Tensor`, standard layers (Linear,
+Embedding, LayerNorm, BatchNorm, dropout), recurrent cells (GRU/LSTM,
+bidirectional), multi-head and additive attention, transformer encoder
+layers, graph neural networks (GAT/GCN/GIN) over batched edge lists, and
+optimizers (Adam/SGD).
+"""
+
+from . import functional, init
+from .attention import AdditiveAttention, MultiHeadAttention
+from .graph import (
+    GATLayer,
+    GCNLayer,
+    GINLayer,
+    GraphStack,
+    add_self_loops,
+    graph_mean_pool,
+)
+from .layers import BatchNorm, Dropout, Embedding, FeedForward, LayerNorm, Linear
+from .module import Module, ModuleList, Parameter, Sequential
+from .optim import SGD, Adam, StepLR, clip_grad_norm
+from .rnn import GRU, LSTM, BiGRU, GRUCell, LSTMCell
+from .serialization import load_checkpoint, save_checkpoint
+from .tensor import Tensor, concat, gather_rows, segment_mean, segment_softmax, segment_sum, stack, where
+from .transformer import PositionalEncoding, TransformerEncoder, TransformerEncoderLayer, sinusoidal_positions
+
+__all__ = [
+    "functional",
+    "init",
+    "Tensor",
+    "concat",
+    "stack",
+    "where",
+    "gather_rows",
+    "segment_sum",
+    "segment_mean",
+    "segment_softmax",
+    "Module",
+    "ModuleList",
+    "Sequential",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "Dropout",
+    "LayerNorm",
+    "BatchNorm",
+    "FeedForward",
+    "GRUCell",
+    "GRU",
+    "BiGRU",
+    "LSTMCell",
+    "LSTM",
+    "MultiHeadAttention",
+    "AdditiveAttention",
+    "TransformerEncoderLayer",
+    "TransformerEncoder",
+    "PositionalEncoding",
+    "sinusoidal_positions",
+    "GATLayer",
+    "GCNLayer",
+    "GINLayer",
+    "GraphStack",
+    "add_self_loops",
+    "graph_mean_pool",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "clip_grad_norm",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,128 @@
+"""Functional interface over :class:`repro.nn.tensor.Tensor`.
+
+These helpers mirror ``torch.nn.functional`` for the operations RNTrajRec
+uses: activations, softmax (optionally masked, as required by the
+constraint-mask decoder of Eq. 16), dropout, and the two loss primitives
+(cross entropy with additive log-mask, mean squared error).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, concat, gather_rows, segment_mean, segment_softmax, segment_sum, stack, where
+
+__all__ = [
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "masked_log_softmax",
+    "dropout",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "concat",
+    "stack",
+    "where",
+    "gather_rows",
+    "segment_sum",
+    "segment_mean",
+    "segment_softmax",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def leaky_relu(x: Tensor, slope: float = 0.01) -> Tensor:
+    return x.leaky_relu(slope)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def masked_log_softmax(
+    logits: Tensor, mask: np.ndarray, axis: int = -1, floor: float = 1e-12
+) -> Tensor:
+    """``log softmax(exp(logits) * mask)`` computed stably.
+
+    ``mask`` holds non-negative weights (the constraint mask ``c`` of
+    Eq. 16; a hard mask is the 0/1 special case).  Entries with zero weight
+    receive probability exactly zero (log-probability ``-inf`` is avoided
+    by flooring at ``log(floor)``).
+    """
+    mask = np.asarray(mask, dtype=logits.dtype)
+    log_mask = np.log(np.maximum(mask, floor))
+    return log_softmax(logits + Tensor(log_mask), axis=axis)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
+    return x * Tensor(mask)
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray, sample_weight: Optional[np.ndarray] = None) -> Tensor:
+    """Negative log likelihood of integer ``targets`` under ``log_probs``.
+
+    ``log_probs`` has shape ``(n, classes)``; ``targets`` shape ``(n,)``.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), targets]
+    if sample_weight is not None:
+        weight = np.asarray(sample_weight, dtype=log_probs.dtype)
+        total = max(float(weight.sum()), 1e-12)
+        return -(picked * Tensor(weight)).sum() * (1.0 / total)
+    return -picked.mean()
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    sample_weight: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Cross entropy over the last axis, optionally with a constraint mask."""
+    if mask is not None:
+        log_probs = masked_log_softmax(logits, mask, axis=-1)
+    else:
+        log_probs = log_softmax(logits, axis=-1)
+    return nll_loss(log_probs, targets, sample_weight)
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray, sample_weight: Optional[np.ndarray] = None) -> Tensor:
+    """Mean squared error against a constant target array."""
+    diff = prediction - Tensor(np.asarray(target, dtype=prediction.dtype))
+    sq = diff * diff
+    if sample_weight is not None:
+        weight = np.asarray(sample_weight, dtype=prediction.dtype)
+        total = max(float(weight.sum()), 1e-12)
+        return (sq * Tensor(weight)).sum() * (1.0 / total)
+    return sq.mean()

@@ -1,0 +1,156 @@
+"""Graph neural network layers over flat node/edge arrays.
+
+All layers share one calling convention designed for *batched* graphs: the
+nodes of every graph in a batch are concatenated into a single
+``(num_nodes, dim)`` tensor, and ``edge_index`` is a ``(2, num_edges)``
+integer array of (source, target) pairs into that flat numbering.  A
+disjoint union of graphs is then just one big graph, so one layer call
+processes a whole mini-batch of trajectory sub-graphs (§IV-C) at once.
+
+Self-loops are the caller's responsibility (see
+:func:`add_self_loops`); GAT follows Velickovic et al. (Eqs. 3-4 of the
+paper) with multi-head attention, GCN uses symmetric degree
+normalization, and GIN uses a sum aggregator with an MLP.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import init
+from .functional import segment_mean, segment_softmax, segment_sum
+from .layers import Linear
+from .module import Module, ModuleList, Parameter
+from .tensor import Tensor, concat, gather_rows
+
+
+def add_self_loops(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Append (i, i) edges for every node; returns a new ``(2, E')`` array."""
+    loops = np.arange(num_nodes, dtype=np.int64)
+    return np.concatenate([edge_index, np.stack([loops, loops])], axis=1)
+
+
+def validate_edge_index(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
+    edge_index = np.asarray(edge_index, dtype=np.int64)
+    if edge_index.ndim != 2 or edge_index.shape[0] != 2:
+        raise ValueError(f"edge_index must have shape (2, E), got {edge_index.shape}")
+    if edge_index.size and (edge_index.min() < 0 or edge_index.max() >= num_nodes):
+        raise IndexError("edge_index refers to nonexistent nodes")
+    return edge_index
+
+
+class GATLayer(Module):
+    """Multi-head graph attention (paper Eqs. 3-4).
+
+    Attention logits use the concatenation form
+    ``LeakyReLU(a^T [W h_i || W h_j])`` which decomposes into
+    ``a_src^T W h_i + a_dst^T W h_j`` — computed per node then gathered per
+    edge, so the cost is O(V + E).
+    Heads are concatenated; ``out_dim`` must be divisible by ``num_heads``.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, num_heads: int = 4, slope: float = 0.2) -> None:
+        super().__init__()
+        if out_dim % num_heads:
+            raise ValueError(f"out_dim {out_dim} not divisible by num_heads {num_heads}")
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.num_heads = num_heads
+        self.head_dim = out_dim // num_heads
+        self.slope = slope
+        self.w = Parameter(init.xavier_uniform(in_dim, out_dim), name="gat.w")
+        self.attn_src = Parameter(
+            init.xavier_uniform(self.head_dim, num_heads, shape=(num_heads, self.head_dim)),
+            name="gat.attn_src",
+        )
+        self.attn_dst = Parameter(
+            init.xavier_uniform(self.head_dim, num_heads, shape=(num_heads, self.head_dim)),
+            name="gat.attn_dst",
+        )
+
+    def forward(self, x: Tensor, edge_index: np.ndarray) -> Tensor:
+        num_nodes = x.shape[0]
+        edge_index = validate_edge_index(edge_index, num_nodes)
+        src, dst = edge_index[0], edge_index[1]
+
+        transformed = (x @ self.w).reshape(num_nodes, self.num_heads, self.head_dim)
+        # Per-node halves of the attention logit, shape (nodes, heads).
+        alpha_src = (transformed * self.attn_src).sum(axis=-1)
+        alpha_dst = (transformed * self.attn_dst).sum(axis=-1)
+
+        logits = (gather_rows(alpha_src, src) + gather_rows(alpha_dst, dst)).leaky_relu(self.slope)
+        weights = segment_softmax(logits, dst, num_nodes)  # normalize over incoming edges
+
+        messages = gather_rows(transformed, src)  # (edges, heads, head_dim)
+        weighted = messages * weights.reshape(len(src), self.num_heads, 1)
+        aggregated = segment_sum(weighted, dst, num_nodes)
+        out = aggregated.reshape(num_nodes, self.out_dim)
+        return out.leaky_relu(self.slope)
+
+
+class GCNLayer(Module):
+    """Graph convolution with symmetric normalization (Kipf & Welling)."""
+
+    def __init__(self, in_dim: int, out_dim: int) -> None:
+        super().__init__()
+        self.linear = Linear(in_dim, out_dim)
+
+    def forward(self, x: Tensor, edge_index: np.ndarray) -> Tensor:
+        num_nodes = x.shape[0]
+        edge_index = validate_edge_index(edge_index, num_nodes)
+        src, dst = edge_index[0], edge_index[1]
+        out_degree = np.bincount(src, minlength=num_nodes).astype(np.float64)
+        in_degree = np.bincount(dst, minlength=num_nodes).astype(np.float64)
+        norm = 1.0 / np.sqrt(np.maximum(out_degree[src], 1.0) * np.maximum(in_degree[dst], 1.0))
+
+        transformed = self.linear(x)
+        messages = gather_rows(transformed, src) * Tensor(norm[:, None])
+        aggregated = segment_sum(messages, dst, num_nodes)
+        return aggregated.relu()
+
+
+class GINLayer(Module):
+    """Graph isomorphism layer: MLP((1 + eps) h_i + sum_j h_j)."""
+
+    def __init__(self, in_dim: int, out_dim: int) -> None:
+        super().__init__()
+        self.eps = Parameter(np.zeros(1), name="gin.eps")
+        self.fc1 = Linear(in_dim, out_dim)
+        self.fc2 = Linear(out_dim, out_dim)
+
+    def forward(self, x: Tensor, edge_index: np.ndarray) -> Tensor:
+        num_nodes = x.shape[0]
+        edge_index = validate_edge_index(edge_index, num_nodes)
+        src, dst = edge_index[0], edge_index[1]
+        neighbor_sum = segment_sum(gather_rows(x, src), dst, num_nodes)
+        combined = x * (1.0 + self.eps) + neighbor_sum
+        return self.fc2(self.fc1(combined).relu())
+
+
+class GraphStack(Module):
+    """A stack of homogeneous GNN layers (used for Fig. 7(a) comparisons)."""
+
+    def __init__(self, kind: str, dim: int, num_layers: int, num_heads: int = 4) -> None:
+        super().__init__()
+        kind = kind.lower()
+        builders = {
+            "gat": lambda: GATLayer(dim, dim, num_heads=num_heads),
+            "gcn": lambda: GCNLayer(dim, dim),
+            "gin": lambda: GINLayer(dim, dim),
+        }
+        if kind not in builders:
+            raise ValueError(f"unknown GNN kind {kind!r}; expected one of {sorted(builders)}")
+        self.kind = kind
+        self.layers = ModuleList(builders[kind]() for _ in range(num_layers))
+
+    def forward(self, x: Tensor, edge_index: np.ndarray) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, edge_index)
+        return x
+
+
+def graph_mean_pool(x: Tensor, graph_ids: np.ndarray, num_graphs: int) -> Tensor:
+    """Mean-pool node features per graph (paper Eq. 8 / GraphReadout)."""
+    return segment_mean(x, graph_ids, num_graphs)

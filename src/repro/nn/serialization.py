@@ -1,0 +1,27 @@
+"""Checkpoint save/load: model state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .module import Module
+
+
+def save_checkpoint(module: Module, path: str) -> None:
+    """Write the module's parameters to ``path`` (npz)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    state = module.state_dict()
+    # npz keys may not contain '/', so keep the dotted names as-is.
+    np.savez(path, **state)
+
+
+def load_checkpoint(module: Module, path: str, strict: bool = True) -> Module:
+    """Load parameters saved by :func:`save_checkpoint` into ``module``."""
+    with np.load(path) as archive:
+        state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state, strict=strict)
+    return module

@@ -1,0 +1,14 @@
+"""Road network substrate: model, synthetic generator, shortest paths."""
+
+from .generator import CityConfig, generate_city
+from .network import NUM_ROAD_LEVELS, RoadNetwork, RoadSegment
+from .shortest_path import ShortestPathEngine
+
+__all__ = [
+    "CityConfig",
+    "generate_city",
+    "NUM_ROAD_LEVELS",
+    "RoadNetwork",
+    "RoadSegment",
+    "ShortestPathEngine",
+]

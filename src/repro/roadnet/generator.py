@@ -1,0 +1,225 @@
+"""Synthetic city generator — the stand-in for OpenStreetMap extracts.
+
+The paper trains on Shanghai / Chengdu / Porto road networks, which are
+not available offline.  This generator builds cities with the structural
+features that make trajectory recovery hard (and that the paper's
+experiments probe):
+
+* an arterial grid (level 2) whose spacing controls intersection density;
+* minor streets (level 4) subdividing a fraction of blocks;
+* two-way traffic modeled as paired opposite-direction segments;
+* an **elevated expressway** (level 0, ``elevated=True``) running above a
+  trunk corridor, connected only at sparse ramps — reproducing the
+  elevated/ground ambiguity that §VI-D's SR%k experiment measures;
+* optional geometric jitter so minor roads are not perfectly straight.
+
+All coordinates are meters in the local frame.  Segment connectivity is
+derived from shared endpoints, with turn restrictions that forbid instant
+U-turns onto the paired opposite segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .network import RoadNetwork, RoadSegment
+
+_NODE_QUANT = 0.5  # meters; endpoints are snapped to this before matching
+
+
+@dataclass(frozen=True)
+class CityConfig:
+    """Parameters of a synthetic city."""
+
+    width: float = 2000.0
+    height: float = 2000.0
+    block: float = 250.0
+    minor_fraction: float = 0.5
+    elevated_rows: Tuple[int, ...] = (2,)
+    ramp_every: int = 3
+    elevated_offset: float = 10.0
+    jitter: float = 6.0
+    seed: int = 7
+    allow_u_turn: bool = False
+
+
+def _key(point: np.ndarray) -> Tuple[int, int]:
+    return (int(round(point[0] / _NODE_QUANT)), int(round(point[1] / _NODE_QUANT)))
+
+
+class _Builder:
+    """Accumulates directed segments and derives connectivity."""
+
+    def __init__(self) -> None:
+        self.polylines: List[np.ndarray] = []
+        self.levels: List[int] = []
+        self.elevated: List[bool] = []
+        self.layers: List[int] = []  # 0 = ground, 1 = elevated deck
+        self.opposite: Dict[int, int] = {}
+
+    def add_one_way(self, polyline: np.ndarray, level: int, elevated: bool, layer: int) -> int:
+        sid = len(self.polylines)
+        self.polylines.append(np.asarray(polyline, dtype=np.float64))
+        self.levels.append(level)
+        self.elevated.append(elevated)
+        self.layers.append(layer)
+        return sid
+
+    def add_two_way(self, polyline: np.ndarray, level: int, elevated: bool = False, layer: int = 0) -> Tuple[int, int]:
+        forward = self.add_one_way(polyline, level, elevated, layer)
+        backward = self.add_one_way(np.asarray(polyline)[::-1], level, elevated, layer)
+        self.opposite[forward] = backward
+        self.opposite[backward] = forward
+        return forward, backward
+
+    def build(self, allow_u_turn: bool) -> RoadNetwork:
+        segments = [
+            RoadSegment(i, poly, level, elev)
+            for i, (poly, level, elev) in enumerate(zip(self.polylines, self.levels, self.elevated))
+        ]
+        # Connectivity: segment a feeds segment b iff a's end node equals
+        # b's start node *on the same layer* (the elevated deck is only
+        # reachable through ramp segments, which bridge layers by having
+        # endpoints on both decks).
+        starts: Dict[Tuple[int, int, int], List[int]] = {}
+        for i, poly in enumerate(self.polylines):
+            starts.setdefault((*_key(poly[0]), self.layers[i]), []).append(i)
+
+        edges: List[Tuple[int, int]] = []
+        for a, poly in enumerate(self.polylines):
+            end_key = (*_key(poly[-1]), self.layers[a])
+            for b in starts.get(end_key, []):
+                if a == b:
+                    continue
+                if not allow_u_turn and self.opposite.get(a) == b:
+                    continue
+                edges.append((a, b))
+        return RoadNetwork(segments, edges)
+
+
+def _jittered_line(p0: np.ndarray, p1: np.ndarray, jitter: float, rng: np.random.Generator) -> np.ndarray:
+    """A 3-vertex polyline with a mid-point perturbed orthogonally."""
+    mid = (p0 + p1) / 2.0
+    direction = p1 - p0
+    norm = np.linalg.norm(direction)
+    if norm < 1e-9 or jitter <= 0:
+        return np.stack([p0, p1])
+    normal = np.array([-direction[1], direction[0]]) / norm
+    mid = mid + normal * rng.normal(0.0, jitter)
+    return np.stack([p0, mid, p1])
+
+
+def generate_city(config: CityConfig | None = None) -> RoadNetwork:
+    """Build a synthetic city road network from ``config``."""
+    config = config or CityConfig()
+    rng = np.random.default_rng(config.seed)
+    builder = _Builder()
+
+    cols = int(round(config.width / config.block))
+    rows = int(round(config.height / config.block))
+    if cols < 2 or rows < 2:
+        raise ValueError("city must be at least 2x2 blocks")
+
+    def node(i: int, j: int) -> np.ndarray:
+        return np.array([i * config.block, j * config.block], dtype=np.float64)
+
+    # Arterial grid (level 2), two-way, one segment per block edge.
+    for j in range(rows + 1):
+        for i in range(cols):
+            builder.add_two_way(np.stack([node(i, j), node(i + 1, j)]), level=2)
+    for i in range(cols + 1):
+        for j in range(rows):
+            builder.add_two_way(np.stack([node(i, j), node(i, j + 1)]), level=2)
+
+    # Minor streets (level 4) bisect a random subset of blocks vertically.
+    # Adjacent blocks share arterial rows, so connector segments along an
+    # arterial are deduplicated by (i, jj).
+    connectors_added: set = set()
+    for i in range(cols):
+        for j in range(rows):
+            if rng.random() >= config.minor_fraction:
+                continue
+            x = (i + 0.5) * config.block
+            p0 = np.array([x, j * config.block])
+            p1 = np.array([x, (j + 1) * config.block])
+            poly = _jittered_line(p0, p1, config.jitter, rng)
+            builder.add_two_way(poly, level=4)
+            # Split the two bounding horizontal arterials so the minor road
+            # actually connects: approximate by adding short connector
+            # segments along the arterial to the midpoint.
+            for jj in (j, j + 1):
+                if (i, jj) in connectors_added:
+                    continue
+                connectors_added.add((i, jj))
+                left = np.array([i * config.block, jj * config.block])
+                right = np.array([(i + 1) * config.block, jj * config.block])
+                mid = np.array([x, jj * config.block])
+                builder.add_two_way(np.stack([left, mid]), level=4)
+                builder.add_two_way(np.stack([mid, right]), level=4)
+
+    # Elevated expressway decks above selected arterial rows.
+    for row in config.elevated_rows:
+        if not 0 <= row <= rows:
+            continue
+        y = row * config.block
+        offset = config.elevated_offset
+        deck_ids: List[int] = []
+        for i in range(cols):
+            p0 = np.array([i * config.block, y + offset])
+            p1 = np.array([(i + 1) * config.block, y + offset])
+            f, b = builder.add_two_way(np.stack([p0, p1]), level=0, elevated=True, layer=1)
+            deck_ids.extend((f, b))
+        # Ramps every ``ramp_every`` intersections bridge ground <-> deck.
+        for i in range(0, cols + 1, max(1, config.ramp_every)):
+            ground = np.array([i * config.block, y])
+            deck = np.array([i * config.block, y + offset])
+            up = builder.add_one_way(np.stack([ground, deck]), level=1, elevated=True, layer=0)
+            down = builder.add_one_way(np.stack([deck, ground]), level=1, elevated=True, layer=0)
+            builder.opposite[up] = down
+            builder.opposite[down] = up
+            # Ramps live on the ground layer at one end and must join the
+            # deck layer at the other; patch their layer bookkeeping by
+            # registering extra start keys.  Simplest correct approach:
+            # treat ramps as layer-bridging by duplicating entries.
+            builder.layers[up] = -1
+            builder.layers[down] = -1
+
+    network = _finalize_with_ramps(builder, config.allow_u_turn)
+    return network
+
+
+def _finalize_with_ramps(builder: _Builder, allow_u_turn: bool) -> RoadNetwork:
+    """Build connectivity treating layer ``-1`` segments as deck bridges."""
+    segments = [
+        RoadSegment(i, poly, level, elev)
+        for i, (poly, level, elev) in enumerate(
+            zip(builder.polylines, builder.levels, builder.elevated)
+        )
+    ]
+
+    starts: Dict[Tuple[int, int, int], List[int]] = {}
+    for i, poly in enumerate(builder.polylines):
+        layer = builder.layers[i]
+        keys = [(*_key(poly[0]), layer)]
+        if layer == -1:  # ramps accept traffic from both decks at their start
+            keys = [(*_key(poly[0]), 0), (*_key(poly[0]), 1)]
+        for key in keys:
+            starts.setdefault(key, []).append(i)
+
+    edges: List[Tuple[int, int]] = []
+    for a, poly in enumerate(builder.polylines):
+        layer = builder.layers[a]
+        end_keys = [(*_key(poly[-1]), layer)]
+        if layer == -1:  # ramps feed both decks at their end
+            end_keys = [(*_key(poly[-1]), 0), (*_key(poly[-1]), 1)]
+        for end_key in end_keys:
+            for b in starts.get(end_key, []):
+                if a == b:
+                    continue
+                if not allow_u_turn and builder.opposite.get(a) == b:
+                    continue
+                edges.append((a, b))
+    return RoadNetwork(segments, edges)

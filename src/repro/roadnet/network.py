@@ -1,0 +1,211 @@
+"""Road network model (paper Definition 1).
+
+A road network is a directed graph whose *nodes are road segments*; an edge
+(e_i, e_j) exists iff traffic can flow directly from segment e_i onto
+segment e_j.  Each segment carries polyline geometry in the local metric
+frame, a road level (functional class, 0-7), and an ``elevated`` flag used
+by the §VI-D robustness experiments.
+
+The class also owns the derived artifacts every other subsystem needs:
+
+* static features ``f_r`` (8-way one-hot level + length + in/out degree,
+  |f_r| = 11 as in §VI-A3);
+* an R-tree over segment bounding boxes for δ-radius lookups;
+* projection of GPS points onto segments and the inverse
+  (segment, ratio) → (x, y) mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.distance import point_along_polyline, polyline_length, project_point_to_polyline
+from ..geo.grid import Grid
+from ..geo.rtree import RTree
+
+NUM_ROAD_LEVELS = 8
+
+
+@dataclass
+class RoadSegment:
+    """One directed road segment."""
+
+    segment_id: int
+    polyline: np.ndarray  # (k, 2) meters
+    level: int = 2
+    elevated: bool = False
+    length: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.polyline = np.asarray(self.polyline, dtype=np.float64)
+        if self.polyline.ndim != 2 or len(self.polyline) < 2:
+            raise ValueError("segment polyline needs at least two vertices")
+        if not 0 <= self.level < NUM_ROAD_LEVELS:
+            raise ValueError(f"road level must be in [0, {NUM_ROAD_LEVELS}), got {self.level}")
+        self.length = polyline_length(self.polyline)
+
+    @property
+    def start(self) -> np.ndarray:
+        return self.polyline[0]
+
+    @property
+    def end(self) -> np.ndarray:
+        return self.polyline[-1]
+
+    def bbox(self) -> Tuple[float, float, float, float]:
+        xs, ys = self.polyline[:, 0], self.polyline[:, 1]
+        return float(xs.min()), float(ys.min()), float(xs.max()), float(ys.max())
+
+    def position_at(self, ratio: float) -> np.ndarray:
+        """(x, y) at moving-ratio ``ratio`` along the segment."""
+        return point_along_polyline(self.polyline, ratio)
+
+
+class RoadNetwork:
+    """Directed graph of road segments with spatial lookup support."""
+
+    def __init__(self, segments: Sequence[RoadSegment], edges: Iterable[Tuple[int, int]]) -> None:
+        self.segments: List[RoadSegment] = list(segments)
+        ids = [s.segment_id for s in self.segments]
+        if ids != list(range(len(ids))):
+            raise ValueError("segments must be numbered 0..n-1 in order")
+
+        self.edges: List[Tuple[int, int]] = []
+        seen: set[Tuple[int, int]] = set()
+        for a, b in edges:
+            if a == b:
+                continue
+            if not (0 <= a < len(ids) and 0 <= b < len(ids)):
+                raise IndexError(f"edge ({a}, {b}) references a missing segment")
+            if (a, b) in seen:
+                continue
+            seen.add((a, b))
+            self.edges.append((a, b))
+
+        self.out_neighbors: List[List[int]] = [[] for _ in ids]
+        self.in_neighbors: List[List[int]] = [[] for _ in ids]
+        for a, b in self.edges:
+            self.out_neighbors[a].append(b)
+            self.in_neighbors[b].append(a)
+
+        self._rtree: Optional[RTree] = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_segments(self) -> int:
+        return len(self.segments)
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def segment(self, segment_id: int) -> RoadSegment:
+        return self.segments[segment_id]
+
+    def edge_index(self) -> np.ndarray:
+        """(2, E) array of directed segment-to-segment edges."""
+        if not self.edges:
+            return np.zeros((2, 0), dtype=np.int64)
+        return np.asarray(self.edges, dtype=np.int64).T
+
+    def bounds(self) -> Tuple[float, float, float, float]:
+        boxes = np.asarray([s.bbox() for s in self.segments])
+        return (
+            float(boxes[:, 0].min()),
+            float(boxes[:, 1].min()),
+            float(boxes[:, 2].max()),
+            float(boxes[:, 3].max()),
+        )
+
+    def make_grid(self, cell_size: float = 50.0, margin: float = 100.0) -> Grid:
+        """A grid covering the network with ``margin`` meters of padding."""
+        x0, y0, x1, y1 = self.bounds()
+        return Grid(x0 - margin, y0 - margin, x1 + margin, y1 + margin, cell_size)
+
+    # ------------------------------------------------------------------
+    # Static features (f_r of §IV-B, size 11)
+    # ------------------------------------------------------------------
+    def static_features(self) -> np.ndarray:
+        """Per-segment features: one-hot level (8) + length + in/out degree."""
+        n = self.num_segments
+        features = np.zeros((n, NUM_ROAD_LEVELS + 3), dtype=np.float64)
+        lengths = np.array([s.length for s in self.segments])
+        length_scale = max(float(lengths.max()), 1.0)
+        for i, seg in enumerate(self.segments):
+            features[i, seg.level] = 1.0
+            features[i, NUM_ROAD_LEVELS] = seg.length / length_scale
+            features[i, NUM_ROAD_LEVELS + 1] = len(self.in_neighbors[i])
+            features[i, NUM_ROAD_LEVELS + 2] = len(self.out_neighbors[i])
+        return features
+
+    # ------------------------------------------------------------------
+    # Spatial queries
+    # ------------------------------------------------------------------
+    @property
+    def rtree(self) -> RTree:
+        if self._rtree is None:
+            self._rtree = RTree(np.asarray([s.bbox() for s in self.segments]))
+        return self._rtree
+
+    def segments_within(self, x: float, y: float, radius: float) -> List[Tuple[int, float]]:
+        """(segment_id, exact distance) pairs within ``radius`` of (x, y)."""
+        point = np.array([x, y])
+        hits: List[Tuple[int, float]] = []
+        for sid in self.rtree.query_radius(x, y, radius):
+            dist, _, _ = project_point_to_polyline(point, self.segments[sid].polyline)
+            if dist <= radius:
+                hits.append((sid, dist))
+        hits.sort(key=lambda pair: pair[1])
+        return hits
+
+    def nearest_segment(self, x: float, y: float, search_radius: float = 200.0) -> Tuple[int, float, float]:
+        """Closest segment to (x, y): returns (segment_id, distance, ratio).
+
+        Expands the search radius geometrically until a hit is found, so it
+        always succeeds on a non-empty network.
+        """
+        radius = search_radius
+        for _ in range(18):
+            hits = self.segments_within(x, y, radius)
+            if hits:
+                sid, dist = hits[0]
+                _, ratio, _ = project_point_to_polyline(
+                    np.array([x, y]), self.segments[sid].polyline
+                )
+                return sid, dist, ratio
+            radius *= 2.0
+        raise RuntimeError(f"no segment found near ({x:.1f}, {y:.1f})")
+
+    def project(self, x: float, y: float, segment_id: int) -> Tuple[float, float]:
+        """(distance, ratio) of (x, y) projected onto a given segment."""
+        dist, ratio, _ = project_point_to_polyline(
+            np.array([x, y]), self.segments[segment_id].polyline
+        )
+        return dist, ratio
+
+    def position(self, segment_id: int, ratio: float) -> np.ndarray:
+        """(x, y) of the point at ``ratio`` along ``segment_id``."""
+        return self.segments[segment_id].position_at(ratio)
+
+    # ------------------------------------------------------------------
+    # Sub-network extraction (used by dataset scaling experiments)
+    # ------------------------------------------------------------------
+    def subnetwork(self, keep_ids: Sequence[int]) -> Tuple["RoadNetwork", Dict[int, int]]:
+        """The induced sub-network on ``keep_ids``; returns (net, old→new)."""
+        keep = sorted(set(int(i) for i in keep_ids))
+        mapping = {old: new for new, old in enumerate(keep)}
+        segments = [
+            RoadSegment(mapping[old], self.segments[old].polyline.copy(),
+                        self.segments[old].level, self.segments[old].elevated)
+            for old in keep
+        ]
+        edges = [
+            (mapping[a], mapping[b])
+            for a, b in self.edges
+            if a in mapping and b in mapping
+        ]
+        return RoadNetwork(segments, edges), mapping

@@ -1,0 +1,39 @@
+"""Trajectory substrate: data model, simulator, resampling, datasets."""
+
+from .dataset import (
+    Batch,
+    DatasetConfig,
+    RecoverySample,
+    build_samples,
+    iterate_batches,
+    make_batch,
+    train_val_test_split,
+)
+from .resample import (
+    downsample_indices,
+    downsample_matched,
+    downsample_raw,
+    epsilon_grid,
+    linear_interpolate,
+)
+from .simulate import SimulationConfig, TrajectorySimulator
+from .trajectory import MatchedTrajectory, RawTrajectory
+
+__all__ = [
+    "Batch",
+    "DatasetConfig",
+    "RecoverySample",
+    "build_samples",
+    "iterate_batches",
+    "make_batch",
+    "train_val_test_split",
+    "downsample_indices",
+    "downsample_matched",
+    "downsample_raw",
+    "epsilon_grid",
+    "linear_interpolate",
+    "SimulationConfig",
+    "TrajectorySimulator",
+    "MatchedTrajectory",
+    "RawTrajectory",
+]

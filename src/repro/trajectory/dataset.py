@@ -1,0 +1,206 @@
+"""Recovery dataset: aligned (low-sample input, ε_ρ-grid target) samples.
+
+Each sample couples
+
+* the low-sample raw input trajectory (every ``keep_every``-th point of the
+  high-sample trace, plus the final point),
+* the full ε_ρ-interval matched target (segment id + moving ratio per
+  step), and
+* the **constraint mask** of Eq. 16: for target steps that are observed in
+  the input, a sparse weight vector ω(e, p) = exp(-d²/β²) over segments
+  within the device's maximum error radius; unobserved steps are
+  unconstrained (all ones).
+
+Batches stack same-shape samples (the simulator emits fixed-length
+trajectories, so bucketing is trivial) and materialize dense constraint
+tensors on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.distance import gaussian_weight
+from ..roadnet.network import RoadNetwork
+from .resample import downsample_indices
+from .trajectory import MatchedTrajectory, RawTrajectory
+
+SparseMask = Optional[Tuple[np.ndarray, np.ndarray]]  # (segment ids, weights)
+
+
+@dataclass(frozen=True)
+class RecoverySample:
+    """One training/evaluation example of the trajectory recovery task."""
+
+    raw_low: RawTrajectory
+    target: MatchedTrajectory
+    observed_steps: np.ndarray          # indices into target for each input point
+    constraints: Tuple[SparseMask, ...]  # per target step
+    hour: int                            # environmental context (hour of day)
+    holiday: bool
+
+    @property
+    def input_length(self) -> int:
+        return len(self.raw_low)
+
+    @property
+    def target_length(self) -> int:
+        return len(self.target)
+
+    def constraint_matrix(self, num_segments: int) -> np.ndarray:
+        """Dense (l_ρ, |V|) constraint mask (1.0 where unconstrained)."""
+        mask = np.ones((self.target_length, num_segments), dtype=np.float64)
+        for step, entry in enumerate(self.constraints):
+            if entry is None:
+                continue
+            ids, weights = entry
+            row = np.zeros(num_segments, dtype=np.float64)
+            row[ids] = weights
+            mask[step] = row
+        return mask
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Sample-construction parameters (paper §V / §VI-A3)."""
+
+    keep_every: int = 8          # ε_τ / ε_ρ ratio (8 or 16 in the paper)
+    beta: float = 15.0           # constraint-mask kernel scale
+    max_gps_error: float = 100.0  # constraint-mask search radius
+    seed: int = 0
+
+
+def build_samples(
+    pairs: Sequence[Tuple[RawTrajectory, MatchedTrajectory]],
+    network: RoadNetwork,
+    config: DatasetConfig | None = None,
+) -> List[RecoverySample]:
+    """Convert simulator output into aligned recovery samples."""
+    config = config or DatasetConfig()
+    rng = np.random.default_rng(config.seed)
+    samples: List[RecoverySample] = []
+    for raw, matched in pairs:
+        if len(raw) != len(matched):
+            raise ValueError("raw and matched trajectories must align 1:1")
+        keep = downsample_indices(len(raw), config.keep_every)
+        low = raw.slice(keep)
+
+        constraints: List[SparseMask] = [None] * len(matched)
+        for input_pos, target_step in enumerate(keep):
+            x, y = low.xy[input_pos]
+            hits = network.segments_within(float(x), float(y), config.max_gps_error)
+            if not hits:
+                sid, dist, _ = network.nearest_segment(float(x), float(y))
+                hits = [(sid, dist)]
+            ids = np.array([sid for sid, _ in hits], dtype=np.int64)
+            weights = gaussian_weight(np.array([d for _, d in hits]), config.beta)
+            constraints[int(target_step)] = (ids, np.maximum(weights, 1e-8))
+
+        samples.append(
+            RecoverySample(
+                raw_low=low,
+                target=matched,
+                observed_steps=keep,
+                constraints=tuple(constraints),
+                hour=int(rng.integers(0, 24)),
+                holiday=bool(rng.random() < 0.1),
+            )
+        )
+    return samples
+
+
+def train_val_test_split(
+    samples: Sequence[RecoverySample],
+    ratios: Tuple[float, float, float] = (0.7, 0.2, 0.1),
+    seed: int = 0,
+) -> Tuple[List[RecoverySample], List[RecoverySample], List[RecoverySample]]:
+    """The paper's 7:2:1 split, shuffled deterministically."""
+    if abs(sum(ratios) - 1.0) > 1e-9:
+        raise ValueError("split ratios must sum to 1")
+    order = np.random.default_rng(seed).permutation(len(samples))
+    n_train = int(round(ratios[0] * len(samples)))
+    n_val = int(round(ratios[1] * len(samples)))
+    shuffled = [samples[i] for i in order]
+    return (
+        shuffled[:n_train],
+        shuffled[n_train : n_train + n_val],
+        shuffled[n_train + n_val :],
+    )
+
+
+@dataclass
+class Batch:
+    """A stacked mini-batch of same-shape recovery samples."""
+
+    samples: List[RecoverySample]
+    input_xy: np.ndarray          # (b, l_τ, 2)
+    input_times: np.ndarray       # (b, l_τ) seconds from trajectory start
+    target_segments: np.ndarray   # (b, l_ρ)
+    target_ratios: np.ndarray     # (b, l_ρ)
+    target_times: np.ndarray      # (b, l_ρ)
+    observed_steps: np.ndarray    # (b, l_τ) target indices of the inputs
+    hours: np.ndarray             # (b,)
+    holidays: np.ndarray          # (b,)
+
+    @property
+    def size(self) -> int:
+        return len(self.samples)
+
+    @property
+    def input_length(self) -> int:
+        return self.input_xy.shape[1]
+
+    @property
+    def target_length(self) -> int:
+        return self.target_segments.shape[1]
+
+    def constraint_tensor(self, num_segments: int) -> np.ndarray:
+        """(b, l_ρ, |V|) dense constraint masks."""
+        return np.stack([s.constraint_matrix(num_segments) for s in self.samples])
+
+
+def make_batch(samples: Sequence[RecoverySample]) -> Batch:
+    """Stack samples; all must share input and target lengths."""
+    lengths = {(s.input_length, s.target_length) for s in samples}
+    if len(lengths) != 1:
+        raise ValueError(f"cannot stack heterogeneous shapes: {sorted(lengths)}")
+    return Batch(
+        samples=list(samples),
+        input_xy=np.stack([s.raw_low.xy for s in samples]),
+        input_times=np.stack([s.raw_low.times - s.raw_low.times[0] for s in samples]),
+        target_segments=np.stack([s.target.segments for s in samples]),
+        target_ratios=np.stack([s.target.ratios for s in samples]),
+        target_times=np.stack([s.target.times for s in samples]),
+        observed_steps=np.stack([s.observed_steps for s in samples]),
+        hours=np.asarray([s.hour for s in samples], dtype=np.int64),
+        holidays=np.asarray([s.holiday for s in samples], dtype=bool),
+    )
+
+
+def iterate_batches(
+    samples: Sequence[RecoverySample],
+    batch_size: int,
+    shuffle: bool = False,
+    seed: int = 0,
+    drop_last: bool = False,
+) -> Iterator[Batch]:
+    """Yield batches, bucketing by (input length, target length)."""
+    buckets: dict[Tuple[int, int], List[RecoverySample]] = {}
+    for sample in samples:
+        buckets.setdefault((sample.input_length, sample.target_length), []).append(sample)
+
+    rng = np.random.default_rng(seed)
+    keys = sorted(buckets)
+    if shuffle:
+        rng.shuffle(keys)
+    for key in keys:
+        bucket = buckets[key]
+        order = rng.permutation(len(bucket)) if shuffle else np.arange(len(bucket))
+        for start in range(0, len(bucket), batch_size):
+            chunk = [bucket[i] for i in order[start : start + batch_size]]
+            if drop_last and len(chunk) < batch_size:
+                continue
+            yield make_batch(chunk)

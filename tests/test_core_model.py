@@ -1,0 +1,194 @@
+"""Integration tests: decoder, losses, full RNTrajRec training loop."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    RNTrajRec,
+    RNTrajRecConfig,
+    TrainConfig,
+    Trainer,
+    quick_accuracy,
+)
+from repro.core.decoder import ReachabilityMask, RecoveryDecoder, interpolation_prior
+from repro.roadnet import CityConfig, generate_city
+from repro.trajectory import (
+    DatasetConfig,
+    SimulationConfig,
+    TrajectorySimulator,
+    build_samples,
+    make_batch,
+    train_val_test_split,
+)
+
+CFG = RNTrajRecConfig(hidden_dim=16, num_heads=2, max_subgraph_nodes=16,
+                      receptive_delta=250.0, dropout=0.0)
+
+
+@pytest.fixture(scope="module")
+def city():
+    return generate_city(CityConfig(width=1000, height=1000, block=250, seed=9))
+
+
+@pytest.fixture(scope="module")
+def samples(city):
+    sim = TrajectorySimulator(city, SimulationConfig(target_points=17, seed=2))
+    pairs = sim.simulate(24)
+    return build_samples(pairs, city, DatasetConfig(keep_every=8))
+
+
+@pytest.fixture(scope="module")
+def batch(samples):
+    return make_batch(samples[:6])
+
+
+class TestDecoder:
+    def test_teacher_forcing_output_shapes(self, city, batch):
+        decoder = RecoveryDecoder(city.num_segments, CFG)
+        enc = nn.Tensor(np.random.default_rng(0).normal(size=(batch.size, batch.input_length, CFG.hidden_dim)))
+        state = nn.Tensor(np.zeros((batch.size, CFG.hidden_dim)))
+        constraint = batch.constraint_tensor(city.num_segments)
+        out = decoder.forward_teacher(enc, state, batch, constraint, teacher_forcing_ratio=1.0)
+        assert out.segment_log_probs.shape == (batch.size, batch.target_length, city.num_segments)
+        assert out.rates.shape == (batch.size, batch.target_length)
+        # log-probabilities: each row sums to ~1 in probability space.
+        probs = np.exp(out.segment_log_probs.data)
+        assert np.allclose(probs.sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_scheduled_sampling_differs(self, city, batch):
+        decoder = RecoveryDecoder(city.num_segments, CFG)
+        enc = nn.Tensor(np.random.default_rng(0).normal(size=(batch.size, batch.input_length, CFG.hidden_dim)))
+        state = nn.Tensor(np.zeros((batch.size, CFG.hidden_dim)))
+        constraint = batch.constraint_tensor(city.num_segments)
+        full = decoder.forward_teacher(enc, state, batch, constraint, 1.0)
+        sampled = decoder.forward_teacher(
+            enc, state, batch, constraint, 0.0, rng=np.random.default_rng(1)
+        )
+        assert not np.allclose(full.segment_log_probs.data, sampled.segment_log_probs.data)
+
+    def test_greedy_respects_hard_mask(self, city, batch):
+        decoder = RecoveryDecoder(city.num_segments, CFG)
+        enc = nn.Tensor(np.random.default_rng(0).normal(size=(batch.size, batch.input_length, CFG.hidden_dim)))
+        state = nn.Tensor(np.zeros((batch.size, CFG.hidden_dim)))
+        # Force every step to allow only segment 3.
+        constraint = np.zeros((batch.size, batch.target_length, city.num_segments))
+        constraint[:, :, 3] = 1.0
+        segments, rates = decoder.decode_greedy(enc, state, batch.target_length, constraint)
+        assert np.all(segments == 3)
+        assert np.all((rates >= 0) & (rates < 1))
+
+    def test_greedy_shapes_without_mask(self, city, batch):
+        decoder = RecoveryDecoder(city.num_segments, CFG)
+        enc = nn.Tensor(np.random.default_rng(0).normal(size=(batch.size, batch.input_length, CFG.hidden_dim)))
+        state = nn.Tensor(np.zeros((batch.size, CFG.hidden_dim)))
+        segments, rates = decoder.decode_greedy(enc, state, batch.target_length, None)
+        assert segments.shape == (batch.size, batch.target_length)
+
+
+class TestReachability:
+    def test_sets_contain_self_and_neighbors(self, city):
+        mask = ReachabilityMask(city.out_neighbors, hops=1)
+        for sid in range(0, city.num_segments, 23):
+            reachable = set(mask._sets[sid].tolist())
+            assert sid in reachable
+            assert set(city.out_neighbors[sid]) <= reachable
+
+    def test_hops_grow_sets(self, city):
+        one = ReachabilityMask(city.out_neighbors, hops=1)
+        two = ReachabilityMask(city.out_neighbors, hops=2)
+        assert len(two._sets[0]) >= len(one._sets[0])
+
+    def test_combine_soft_downweights(self, city):
+        mask = ReachabilityMask(city.out_neighbors, hops=1, escape_weight=0.1)
+        previous = np.array([0])
+        out = mask.combine(np.ones((1, city.num_segments)), previous, city.num_segments)
+        reachable = mask._sets[0]
+        assert np.allclose(out[0, reachable], 1.0)
+        unreachable = np.setdiff1d(np.arange(city.num_segments), reachable)
+        assert np.allclose(out[0, unreachable], 0.1)
+
+
+class TestInterpolationPrior:
+    def test_shape_and_floor(self, city, batch):
+        prior = interpolation_prior(batch, city, scale=150.0, floor=0.005)
+        assert prior.shape == (batch.size, batch.target_length, city.num_segments)
+        assert prior.min() >= 0.005
+        assert prior.max() <= 1.0
+
+    def test_anchors_weight_near_segments_higher(self, city, batch):
+        prior = interpolation_prior(batch, city, scale=150.0, floor=0.005)
+        sample = batch.samples[0]
+        step = int(sample.observed_steps[0])
+        x, y = sample.raw_low.xy[0]
+        near_sid, _, _ = city.nearest_segment(float(x), float(y))
+        assert prior[0, step, near_sid] > 0.5
+
+
+class TestRNTrajRecEndToEnd:
+    def test_loss_components_finite(self, city, batch):
+        model = RNTrajRec(city, CFG)
+        breakdown = model.compute_loss(batch)
+        summary = breakdown.summary()
+        for key in ("total", "L_id", "L_rate", "L_enc"):
+            assert np.isfinite(summary[key]), key
+        assert summary["L_enc"] != 0.0  # graph loss active by default
+
+    def test_ablated_gcl_loss_zero(self, city, batch):
+        model = RNTrajRec(city, CFG.ablation("gcl"))
+        assert model.compute_loss(batch).graph_loss == 0.0
+
+    def test_short_training_reduces_loss(self, city, samples):
+        model = RNTrajRec(city, CFG)
+        trainer = Trainer(model, TrainConfig(epochs=4, batch_size=8, learning_rate=5e-3,
+                                             validate=False))
+        result = trainer.fit(samples)
+        assert result.history[-1].loss < result.history[0].loss
+
+    def test_recover_output_contract(self, city, batch):
+        model = RNTrajRec(city, CFG)
+        segments, rates = model.recover(batch)
+        assert segments.shape == (batch.size, batch.target_length)
+        assert segments.dtype == np.int64
+        assert np.all((segments >= 0) & (segments < city.num_segments))
+        assert np.all((rates >= 0) & (rates < 1))
+
+    def test_recover_trajectories_objects(self, city, batch):
+        model = RNTrajRec(city, CFG)
+        out = model.recover_trajectories(batch)
+        assert len(out) == batch.size
+        for traj, sample in zip(out, batch.samples):
+            assert len(traj) == sample.target_length
+            assert np.allclose(traj.times, sample.target.times)
+
+    def test_checkpoint_roundtrip_preserves_predictions(self, city, batch, tmp_path):
+        model = RNTrajRec(city, CFG)
+        model.eval()
+        seg1, _ = model.recover(batch)
+        path = str(tmp_path / "model.npz")
+        nn.save_checkpoint(model, path)
+        clone = RNTrajRec(city, CFG)
+        nn.load_checkpoint(clone, path)
+        clone.eval()
+        seg2, _ = clone.recover(batch)
+        assert np.array_equal(seg1, seg2)
+
+    def test_quick_accuracy_range(self, city, samples):
+        model = RNTrajRec(city, CFG)
+        acc = quick_accuracy(model, samples[:8], batch_size=8)
+        assert 0.0 <= acc <= 1.0
+
+    def test_trainer_validation_hook(self, city, samples):
+        model = RNTrajRec(city, CFG)
+        train, val, _ = train_val_test_split(samples, seed=0)
+        seen = []
+        trainer = Trainer(model, TrainConfig(epochs=1, batch_size=8, validate=True))
+        trainer.fit(train, val, progress=seen.append)
+        assert len(seen) == 1
+        assert seen[0].val_accuracy is not None
+
+    def test_all_parameters_receive_gradients(self, city, batch):
+        model = RNTrajRec(city, CFG)
+        model.compute_loss(batch, teacher_forcing_ratio=1.0).total.backward()
+        missing = [name for name, p in model.named_parameters() if p.grad is None]
+        assert not missing, f"no gradient for: {missing}"

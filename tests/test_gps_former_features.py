@@ -1,0 +1,78 @@
+"""Tests for encoder input features and the environment context head."""
+
+import numpy as np
+import pytest
+
+from repro.core.gps_former import ENV_CONTEXT_DIM, POINT_CONTEXT_DIM, point_context_features
+from repro.roadnet import CityConfig, generate_city
+from repro.trajectory import DatasetConfig, SimulationConfig, TrajectorySimulator, build_samples, make_batch
+
+
+@pytest.fixture(scope="module")
+def setup():
+    city = generate_city(CityConfig(width=1000, height=1000, block=250, seed=9))
+    sim = TrajectorySimulator(city, SimulationConfig(target_points=17, seed=2))
+    samples = build_samples(sim.simulate(5), city, DatasetConfig(keep_every=8))
+    return city, make_batch(samples)
+
+
+class TestPointContextFeatures:
+    def test_shape(self, setup):
+        city, batch = setup
+        feats = point_context_features(batch, city.make_grid(50.0))
+        assert feats.shape == (batch.size, batch.input_length, POINT_CONTEXT_DIM)
+
+    def test_time_normalized_to_unit(self, setup):
+        city, batch = setup
+        feats = point_context_features(batch, city.make_grid(50.0))
+        t = feats[..., 0]
+        assert np.allclose(t[:, 0], 0.0)
+        assert np.allclose(t[:, -1], 1.0)
+        assert np.all(np.diff(t, axis=1) >= 0)
+
+    def test_grid_indices_in_unit_range(self, setup):
+        city, batch = setup
+        feats = point_context_features(batch, city.make_grid(50.0))
+        assert np.all(feats[..., 1:3] >= 0.0)
+        assert np.all(feats[..., 1:3] <= 1.0)
+
+    def test_delta_features_boundary_zeros(self, setup):
+        """First point has no previous delta; last has no next delta."""
+        city, batch = setup
+        feats = point_context_features(batch, city.make_grid(50.0))
+        assert np.allclose(feats[:, 0, 3:5], 0.0)   # delta_prev at t=0
+        assert np.allclose(feats[:, -1, 5:7], 0.0)  # delta_next at t=-1
+
+    def test_deltas_consistent_with_positions(self, setup):
+        city, batch = setup
+        scale = 1000.0
+        feats = point_context_features(batch, city.make_grid(50.0), delta_scale=scale)
+        expected = (batch.input_xy[0, 1] - batch.input_xy[0, 0]) / scale
+        assert np.allclose(feats[0, 1, 3:5], expected)
+        assert np.allclose(feats[0, 0, 5:7], expected)
+
+    def test_constants_match(self):
+        assert POINT_CONTEXT_DIM == 7
+        assert ENV_CONTEXT_DIM == 25
+
+
+class TestInputEmbedding:
+    def test_baseline_embedding_shape(self, setup):
+        from repro.baselines.seq2seq import InputEmbedding
+
+        city, batch = setup
+        embed = InputEmbedding(city.make_grid(50.0), 16)
+        out = embed(batch)
+        assert out.shape == (batch.size, batch.input_length, 16)
+
+    def test_context_head_uses_hour(self, setup):
+        from repro.baselines.seq2seq import TrajectoryContextHead
+        from repro.nn.tensor import Tensor
+
+        city, batch = setup
+        head = TrajectoryContextHead(16)
+        feats = Tensor(np.random.default_rng(0).normal(size=(batch.size, batch.input_length, 16)))
+        a = head(feats, batch).data.copy()
+        batch.hours[:] = (batch.hours + 6) % 24
+        b = head(feats, batch).data
+        assert not np.allclose(a, b)

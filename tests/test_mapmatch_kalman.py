@@ -1,0 +1,114 @@
+"""Tests for the HMM map matcher and Kalman smoother substrates."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.kalman import ConstantVelocityKalman, KalmanConfig
+from repro.mapmatch import HMMConfig, HMMMapMatcher
+from repro.roadnet import CityConfig, generate_city
+from repro.trajectory import RawTrajectory, SimulationConfig, TrajectorySimulator
+
+
+@pytest.fixture(scope="module")
+def city():
+    return generate_city(CityConfig(width=1000, height=1000, block=250, seed=9))
+
+
+@pytest.fixture(scope="module")
+def clean_pair(city):
+    sim = TrajectorySimulator(
+        city, SimulationConfig(target_points=17, gps_noise_std=0.0, seed=3)
+    )
+    return sim.simulate_one()
+
+
+class TestHMM:
+    def test_noiseless_high_sample_near_exact(self, city, clean_pair):
+        raw, matched = clean_pair
+        est = HMMMapMatcher(city).match(raw)
+        assert est is not None
+        accuracy = (est.segments == matched.segments).mean()
+        # Opposite-direction twins share geometry; direction must come from
+        # transitions, so demand high but not perfect accuracy.
+        assert accuracy > 0.8
+
+    def test_noisy_still_matches(self, city):
+        sim = TrajectorySimulator(
+            city, SimulationConfig(target_points=17, gps_noise_std=15.0, seed=5)
+        )
+        raw, matched = sim.simulate_one()
+        est = HMMMapMatcher(city).match(raw)
+        assert est is not None
+        assert (est.segments == matched.segments).mean() > 0.3
+
+    def test_output_structure(self, city, clean_pair):
+        raw, _ = clean_pair
+        est = HMMMapMatcher(city).match(raw)
+        assert len(est) == len(raw)
+        assert np.allclose(est.times, raw.times)
+        assert np.all(est.ratios >= 0) and np.all(est.ratios < 1)
+
+    def test_empty_trajectory(self, city):
+        empty = RawTrajectory(np.zeros((0, 2)), np.zeros(0))
+        assert HMMMapMatcher(city).match(empty) is None
+
+    def test_single_point(self, city):
+        raw = RawTrajectory(np.array([[500.0, 500.0]]), np.array([0.0]))
+        est = HMMMapMatcher(city).match(raw)
+        assert est is not None and len(est) == 1
+
+    def test_far_off_network_point_recovers(self, city):
+        """Candidates search expands its radius until it finds segments."""
+        raw = RawTrajectory(
+            np.array([[500.0, 500.0], [5000.0, 5000.0]]), np.array([0.0, 12.0])
+        )
+        est = HMMMapMatcher(city).match(raw)
+        assert est is not None
+
+    def test_matched_points_near_observations(self, city, clean_pair):
+        raw, _ = clean_pair
+        est = HMMMapMatcher(city).match(raw)
+        positions = est.positions(city)
+        errors = np.linalg.norm(positions - raw.xy, axis=1)
+        assert errors.mean() < 30.0
+
+
+class TestKalman:
+    def _noisy_track(self, seed=0, noise=25.0):
+        rng = np.random.default_rng(seed)
+        times = np.arange(0.0, 60.0, 2.0)
+        truth = np.stack([10.0 * times, 5.0 * times], axis=1)  # constant velocity
+        return truth, truth + rng.normal(0, noise, truth.shape), times
+
+    def test_smoothing_reduces_error(self):
+        truth, noisy, times = self._noisy_track()
+        smoothed = ConstantVelocityKalman().smooth(noisy, times)
+        raw_err = np.linalg.norm(noisy - truth, axis=1).mean()
+        smooth_err = np.linalg.norm(smoothed - truth, axis=1).mean()
+        assert smooth_err < raw_err
+
+    def test_shapes_preserved(self):
+        _, noisy, times = self._noisy_track()
+        out = ConstantVelocityKalman().smooth(noisy, times)
+        assert out.shape == noisy.shape
+
+    def test_short_inputs(self):
+        kf = ConstantVelocityKalman()
+        assert kf.smooth(np.zeros((0, 2)), np.zeros(0)).shape == (0, 2)
+        single = kf.smooth(np.array([[1.0, 2.0]]), np.array([0.0]))
+        assert np.allclose(single, [[1.0, 2.0]])
+
+    def test_irregular_timestamps(self):
+        truth, noisy, times = self._noisy_track()
+        irregular = times + np.linspace(0, 0.9, len(times))
+        out = ConstantVelocityKalman().smooth(noisy, irregular)
+        assert np.all(np.isfinite(out))
+
+    def test_config_noise_tradeoff(self):
+        """Large observation noise ⇒ heavier smoothing (lower variance)."""
+        _, noisy, times = self._noisy_track()
+        light = ConstantVelocityKalman(KalmanConfig(observation_noise=1.0)).smooth(noisy, times)
+        heavy = ConstantVelocityKalman(KalmanConfig(observation_noise=100.0)).smooth(noisy, times)
+        light_dev = np.linalg.norm(light - noisy, axis=1).mean()
+        heavy_dev = np.linalg.norm(heavy - noisy, axis=1).mean()
+        assert heavy_dev > light_dev

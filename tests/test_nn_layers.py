@@ -1,0 +1,135 @@
+"""Tests for feed-forward layers (Linear, Embedding, norms, dropout)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+RNG = np.random.default_rng(7)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = nn.Linear(5, 3)
+        assert layer(Tensor(RNG.normal(size=(7, 5)))).shape == (7, 3)
+
+    def test_batched_3d_input(self):
+        layer = nn.Linear(5, 3)
+        assert layer(Tensor(RNG.normal(size=(2, 7, 5)))).shape == (2, 7, 3)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 2, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_affine_math(self):
+        layer = nn.Linear(2, 2)
+        layer.weight.data = np.eye(2)
+        layer.bias.data = np.array([1.0, -1.0])
+        out = layer(Tensor(np.array([[2.0, 3.0]])))
+        assert np.allclose(out.data, [[3.0, 2.0]])
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = nn.Embedding(10, 4)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_gradient_accumulates_on_repeats(self):
+        emb = nn.Embedding(5, 2)
+        emb(np.array([1, 1, 1])).sum().backward()
+        assert np.allclose(emb.weight.grad[1], 3.0)
+        assert np.allclose(emb.weight.grad[0], 0.0)
+
+    def test_out_of_range_raises(self):
+        emb = nn.Embedding(5, 2)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self):
+        ln = nn.LayerNorm(8)
+        out = ln(Tensor(RNG.normal(size=(4, 8)) * 10 + 3)).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gamma_beta_affine(self):
+        ln = nn.LayerNorm(4)
+        ln.gamma.data = np.full(4, 2.0)
+        ln.beta.data = np.full(4, 1.0)
+        out = ln(Tensor(RNG.normal(size=(3, 4)))).data
+        assert np.allclose(out.mean(axis=-1), 1.0, atol=1e-6)
+
+    def test_gradient_flows(self):
+        ln = nn.LayerNorm(4)
+        x = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        ln(x).sum().backward()
+        assert x.grad is not None and np.all(np.isfinite(x.grad))
+
+
+class TestBatchNorm:
+    def test_training_normalizes_batch(self):
+        bn = nn.BatchNorm(3)
+        x = Tensor(RNG.normal(size=(50, 3)) * 5 + 2)
+        out = bn(x).data
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-6)
+        assert np.allclose(out.var(axis=0), 1.0, atol=1e-2)
+
+    def test_eval_uses_running_stats(self):
+        bn = nn.BatchNorm(2, momentum=1.0)  # running = last batch
+        x = Tensor(np.array([[0.0, 10.0], [2.0, 12.0]]))
+        bn(x)  # train step sets running stats
+        bn.eval()
+        single = bn(Tensor(np.array([[1.0, 11.0]]))).data
+        assert np.allclose(single, 0.0, atol=1e-2)
+
+    def test_eval_deterministic_wrt_batch(self):
+        bn = nn.BatchNorm(2)
+        bn(Tensor(RNG.normal(size=(20, 2))))
+        bn.eval()
+        a = bn(Tensor(np.ones((1, 2)))).data
+        b = bn(Tensor(np.concatenate([np.ones((1, 2)), np.zeros((5, 2))]))).data[:1]
+        assert np.allclose(a, b)
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        drop = nn.Dropout(0.5)
+        drop.eval()
+        x = Tensor(RNG.normal(size=(10, 10)))
+        assert np.allclose(drop(x).data, x.data)
+
+    def test_training_zeroes_and_scales(self):
+        drop = nn.Dropout(0.5, seed=3)
+        x = Tensor(np.ones((1000,)))
+        out = drop(x).data
+        zero_fraction = (out == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+        kept = out[out != 0]
+        assert np.allclose(kept, 2.0)  # inverted dropout scaling
+
+    def test_zero_probability_identity(self):
+        drop = nn.Dropout(0.0)
+        x = Tensor(RNG.normal(size=(5,)))
+        assert np.allclose(drop(x).data, x.data)
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestFeedForward:
+    def test_shape_preserved(self):
+        ffn = nn.FeedForward(6, 12)
+        assert ffn(Tensor(RNG.normal(size=(2, 5, 6)))).shape == (2, 5, 6)
+
+    def test_gradcheck_small(self):
+        ffn = nn.FeedForward(3, 6)
+        x = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        ffn(x).sum().backward()
+        assert np.all(np.isfinite(x.grad))

@@ -1,0 +1,120 @@
+"""Tests for the Module/Parameter system and serialization."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class Tiny(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(3, 4)
+        self.fc2 = nn.Linear(4, 2)
+        self.scale = nn.Parameter(np.ones(1), name="scale")
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu()) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_found_recursively(self):
+        model = Tiny()
+        names = dict(model.named_parameters())
+        assert "fc1.weight" in names
+        assert "fc2.bias" in names
+        assert "scale" in names
+        assert len(model.parameters()) == 5
+
+    def test_num_parameters_counts_scalars(self):
+        model = Tiny()
+        assert model.num_parameters() == 3 * 4 + 4 + 4 * 2 + 2 + 1
+
+    def test_module_list_registration(self):
+        class Stacked(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.layers = nn.ModuleList(nn.Linear(2, 2) for _ in range(3))
+
+        model = Stacked()
+        assert len(model.parameters()) == 6
+        assert len(model.layers) == 3
+        assert isinstance(model.layers[1], nn.Linear)
+
+    def test_sequential_applies_in_order(self):
+        seq = nn.Sequential(nn.Linear(2, 3), nn.Linear(3, 1))
+        out = seq(Tensor(np.ones((4, 2))))
+        assert out.shape == (4, 1)
+
+
+class TestTrainEval:
+    def test_train_eval_propagates(self):
+        model = Tiny()
+        model.eval()
+        assert not model.fc1.training
+        model.train()
+        assert model.fc2.training
+
+    def test_zero_grad_clears(self):
+        model = Tiny()
+        out = model(Tensor(np.ones((2, 3)))).sum()
+        out.backward()
+        assert model.fc1.weight.grad is not None
+        model.zero_grad()
+        assert model.fc1.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        model = Tiny()
+        state = model.state_dict()
+        other = Tiny()
+        other.load_state_dict(state)
+        for (_, a), (_, b) in zip(model.named_parameters(), other.named_parameters()):
+            assert np.allclose(a.data, b.data)
+
+    def test_strict_missing_raises(self):
+        model = Tiny()
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        model = Tiny()
+        state = model.state_dict()
+        state["scale"] = np.ones(7)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_non_strict_partial_load(self):
+        model = Tiny()
+        state = {"scale": np.array([5.0])}
+        model.load_state_dict(state, strict=False)
+        assert np.allclose(model.scale.data, 5.0)
+
+
+class TestCheckpointFiles:
+    def test_save_load_checkpoint(self, tmp_path):
+        model = Tiny()
+        path = str(tmp_path / "ckpt.npz")
+        nn.save_checkpoint(model, path)
+        assert os.path.exists(path)
+
+        other = Tiny()
+        # Ensure they differ before loading.
+        other.fc1.weight.data = other.fc1.weight.data + 1.0
+        nn.load_checkpoint(other, path)
+        assert np.allclose(other.fc1.weight.data, model.fc1.weight.data)
+
+    def test_loaded_model_same_output(self, tmp_path):
+        model = Tiny()
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 3)))
+        expected = model(x).data
+        path = str(tmp_path / "ckpt.npz")
+        nn.save_checkpoint(model, path)
+        other = nn.load_checkpoint(Tiny(), path)
+        assert np.allclose(other(x).data, expected)

@@ -1,0 +1,113 @@
+"""Tests for recurrent layers (GRU/LSTM cells and sequence wrappers)."""
+
+import numpy as np
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+RNG = np.random.default_rng(11)
+
+
+class TestGRUCell:
+    def test_output_shape_and_range(self):
+        cell = nn.GRUCell(4, 6)
+        h = cell(Tensor(RNG.normal(size=(3, 4))), cell.initial_state(3))
+        assert h.shape == (3, 6)
+
+    def test_state_evolves(self):
+        cell = nn.GRUCell(2, 3)
+        h0 = cell.initial_state(1)
+        h1 = cell(Tensor(RNG.normal(size=(1, 2))), h0)
+        assert not np.allclose(h1.data, h0.data)
+
+    def test_zero_update_gate_keeps_state(self):
+        cell = nn.GRUCell(2, 3)
+        # Force z ≈ 0 via a large negative bias: state should barely change.
+        cell.b_z.data = np.full(3, -50.0)
+        h0 = Tensor(RNG.normal(size=(1, 3)))
+        h1 = cell(Tensor(RNG.normal(size=(1, 2))), h0)
+        assert np.allclose(h1.data, h0.data, atol=1e-8)
+
+    def test_gradient_through_two_steps(self):
+        cell = nn.GRUCell(2, 3)
+        x = Tensor(RNG.normal(size=(1, 2)), requires_grad=True)
+        h = cell(x, cell.initial_state(1))
+        h = cell(x, h)
+        h.sum().backward()
+        assert np.all(np.isfinite(x.grad))
+
+
+class TestLSTMCell:
+    def test_shapes(self):
+        cell = nn.LSTMCell(3, 5)
+        h, c = cell(Tensor(RNG.normal(size=(2, 3))), cell.initial_state(2))
+        assert h.shape == (2, 5)
+        assert c.shape == (2, 5)
+
+    def test_forget_bias_initialized_to_one(self):
+        cell = nn.LSTMCell(3, 5)
+        assert np.allclose(cell.b_f.data, 1.0)
+
+
+class TestSequenceWrappers:
+    def test_gru_outputs_all_steps(self):
+        rnn = nn.GRU(3, 4)
+        outputs, final = rnn(Tensor(RNG.normal(size=(2, 7, 3))))
+        assert outputs.shape == (2, 7, 4)
+        assert final.shape == (2, 4)
+        assert np.allclose(outputs.data[:, -1, :], final.data)
+
+    def test_gru_custom_initial_state(self):
+        rnn = nn.GRU(3, 4)
+        x = Tensor(RNG.normal(size=(2, 3, 3)))
+        h0 = Tensor(RNG.normal(size=(2, 4)))
+        out_custom, _ = rnn(x, h0)
+        out_default, _ = rnn(x)
+        assert not np.allclose(out_custom.data, out_default.data)
+
+    def test_lstm_outputs(self):
+        rnn = nn.LSTM(3, 4)
+        outputs, (h, c) = rnn(Tensor(RNG.normal(size=(2, 5, 3))))
+        assert outputs.shape == (2, 5, 4)
+        assert h.shape == (2, 4)
+
+    def test_gradient_through_sequence(self):
+        rnn = nn.GRU(2, 3)
+        x = Tensor(RNG.normal(size=(1, 6, 2)), requires_grad=True)
+        outputs, _ = rnn(x)
+        outputs.sum().backward()
+        assert x.grad.shape == (1, 6, 2)
+        # Earlier steps influence later outputs: all grads nonzero-ish.
+        assert np.abs(x.grad).sum() > 0
+
+
+class TestBiGRU:
+    def test_output_concatenates_directions(self):
+        rnn = nn.BiGRU(3, 8)
+        outputs, final = rnn(Tensor(RNG.normal(size=(2, 5, 3))))
+        assert outputs.shape == (2, 5, 8)
+        assert final.shape == (2, 8)
+
+    def test_odd_hidden_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            nn.BiGRU(3, 7)
+
+    def test_backward_direction_sees_future(self):
+        """Perturbing the last timestep must change the first output."""
+        rnn = nn.BiGRU(2, 4)
+        x = RNG.normal(size=(1, 5, 2))
+        base = rnn(Tensor(x.copy()))[0].data[0, 0].copy()
+        x[0, -1] += 10.0
+        changed = rnn(Tensor(x))[0].data[0, 0]
+        assert not np.allclose(base, changed)
+
+    def test_forward_half_ignores_future(self):
+        """The forward half of the first output is independent of later steps."""
+        rnn = nn.BiGRU(2, 4)
+        x = RNG.normal(size=(1, 5, 2))
+        base = rnn(Tensor(x.copy()))[0].data[0, 0, :2].copy()
+        x[0, -1] += 10.0
+        changed = rnn(Tensor(x))[0].data[0, 0, :2]
+        assert np.allclose(base, changed)

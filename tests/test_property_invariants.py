@@ -1,0 +1,129 @@
+"""Cross-cutting property-based tests on core invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.distance import gaussian_weight, point_along_polyline, project_point_to_polyline
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.roadnet import CityConfig, ShortestPathEngine, generate_city
+
+
+@pytest.fixture(scope="module")
+def city():
+    return generate_city(CityConfig(width=1000, height=1000, block=250, seed=9))
+
+
+@pytest.fixture(scope="module")
+def engine(city):
+    return ShortestPathEngine(city)
+
+
+class TestMaskedSoftmaxProperties:
+    @given(st.lists(st.floats(-5, 5), min_size=3, max_size=12),
+           st.integers(0, 11))
+    @settings(max_examples=40, deadline=None)
+    def test_hard_mask_zeroes_probability(self, logits, masked_idx):
+        logits = np.asarray(logits)
+        masked_idx = masked_idx % len(logits)
+        mask = np.ones(len(logits))
+        mask[masked_idx] = 0.0
+        if mask.sum() == 0:
+            return
+        log_probs = F.masked_log_softmax(Tensor(logits[None, :]), mask[None, :]).data[0]
+        probs = np.exp(log_probs)
+        assert probs[masked_idx] < 1e-6
+        assert np.isclose(probs.sum(), 1.0, atol=1e-6)
+
+    @given(st.lists(st.floats(-5, 5), min_size=2, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_mask_equals_plain_softmax(self, logits):
+        logits = np.asarray(logits)
+        plain = F.log_softmax(Tensor(logits[None, :])).data
+        masked = F.masked_log_softmax(Tensor(logits[None, :]), np.ones((1, len(logits)))).data
+        assert np.allclose(plain, masked, atol=1e-9)
+
+
+class TestRoadDistanceProperties:
+    @given(st.integers(0, 10_000), st.floats(0.0, 0.999), st.floats(0.0, 0.999))
+    @settings(max_examples=30, deadline=None)
+    def test_position_distance_nonnegative(self, seed, ra, rb):
+        rng = np.random.default_rng(seed)
+        # Draw segments lazily per example from a shared module city.
+        city = generate_city(CityConfig(width=750, height=750, block=250, seed=9))
+        engine = ShortestPathEngine(city)
+        a = int(rng.integers(0, city.num_segments))
+        b = int(rng.integers(0, city.num_segments))
+        d = engine.position_distance(a, ra, b, rb)
+        assert d >= -1e-9 or not np.isfinite(d)
+
+    def test_identity_distance_zero(self, city, engine):
+        for sid in range(0, city.num_segments, 29):
+            assert engine.position_distance(sid, 0.3, sid, 0.3) == pytest.approx(0.0)
+
+    def test_triangle_like_monotonicity(self, city, engine):
+        """Moving the target forward along one segment increases distance."""
+        sid = 0
+        nxt = city.out_neighbors[sid][0]
+        d_near = engine.position_distance(sid, 0.0, nxt, 0.1)
+        d_far = engine.position_distance(sid, 0.0, nxt, 0.9)
+        assert d_far > d_near
+
+
+class TestGeometryProperties:
+    @given(st.floats(0, 1), st.floats(10, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_weight_kernel_bounds(self, ratio, scale):
+        distance = ratio * 1000.0
+        w = gaussian_weight(distance, scale)
+        assert 0.0 <= w <= 1.0
+
+    @given(st.lists(st.tuples(st.floats(-500, 500), st.floats(-500, 500)),
+                    min_size=2, max_size=6, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_projection_distance_to_own_vertices_zero(self, vertices):
+        poly = np.asarray(vertices)
+        # Degenerate polylines (repeated points) are rejected elsewhere.
+        if np.linalg.norm(np.diff(poly, axis=0), axis=1).min() < 1e-6:
+            return
+        for vertex in poly:
+            dist, _, _ = project_point_to_polyline(vertex, poly)
+            assert dist < 1e-6
+
+    @given(st.floats(0, 1), st.floats(0, 1))
+    @settings(max_examples=40, deadline=None)
+    def test_point_along_monotone_in_ratio(self, r1, r2):
+        poly = np.array([[0.0, 0.0], [100.0, 0.0], [100.0, 100.0]])
+        lo, hi = sorted([r1, r2])
+        p_lo = point_along_polyline(poly, lo)
+        p_hi = point_along_polyline(poly, hi)
+        # Arc-length position is monotone: project back and compare.
+        _, ratio_lo, _ = project_point_to_polyline(p_lo, poly)
+        _, ratio_hi, _ = project_point_to_polyline(p_hi, poly)
+        assert ratio_hi >= ratio_lo - 1e-9
+
+
+class TestConstraintMaskProperties:
+    @given(st.integers(0, 5000))
+    @settings(max_examples=15, deadline=None)
+    def test_masks_cover_noisy_fix(self, seed):
+        """The constraint search radius exceeds 5σ of GPS noise, so the
+        mask is essentially never empty near a fix."""
+        from repro.trajectory import (DatasetConfig, SimulationConfig,
+                                      TrajectorySimulator, build_samples)
+
+        city = generate_city(CityConfig(width=750, height=750, block=250, seed=9))
+        sim = TrajectorySimulator(city, SimulationConfig(target_points=9, seed=seed,
+                                                         gps_noise_std=12.0))
+        pair = sim.simulate_one()
+        if pair is None:
+            return
+        samples = build_samples([pair], city, DatasetConfig(keep_every=4))
+        for sample in samples:
+            for step in sample.observed_steps:
+                entry = sample.constraints[int(step)]
+                assert entry is not None
+                ids, weights = entry
+                assert len(ids) >= 1
+                assert np.all(weights > 0)

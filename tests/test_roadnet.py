@@ -1,0 +1,233 @@
+"""Tests for the road network model, synthetic generator and shortest paths."""
+
+import numpy as np
+import pytest
+
+from repro.roadnet import (
+    CityConfig,
+    NUM_ROAD_LEVELS,
+    RoadNetwork,
+    RoadSegment,
+    ShortestPathEngine,
+    generate_city,
+)
+
+
+def tiny_network():
+    """0→1→2 chain plus a 2→0 loop closure, unit geometry."""
+    segments = [
+        RoadSegment(0, np.array([[0.0, 0.0], [100.0, 0.0]]), level=2),
+        RoadSegment(1, np.array([[100.0, 0.0], [100.0, 100.0]]), level=2),
+        RoadSegment(2, np.array([[100.0, 100.0], [0.0, 0.0]]), level=4),
+    ]
+    edges = [(0, 1), (1, 2), (2, 0)]
+    return RoadNetwork(segments, edges)
+
+
+class TestRoadSegment:
+    def test_length(self):
+        seg = RoadSegment(0, np.array([[0.0, 0.0], [3.0, 4.0]]))
+        assert np.isclose(seg.length, 5.0)
+
+    def test_position_at(self):
+        seg = RoadSegment(0, np.array([[0.0, 0.0], [100.0, 0.0]]))
+        assert np.allclose(seg.position_at(0.25), [25.0, 0.0])
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            RoadSegment(0, np.array([[0.0, 0.0]]))
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            RoadSegment(0, np.array([[0.0, 0.0], [1.0, 0.0]]), level=NUM_ROAD_LEVELS)
+
+
+class TestRoadNetwork:
+    def test_adjacency_lists(self):
+        net = tiny_network()
+        assert net.out_neighbors[0] == [1]
+        assert net.in_neighbors[0] == [2]
+
+    def test_duplicate_and_self_edges_dropped(self):
+        segments = [
+            RoadSegment(0, np.array([[0.0, 0.0], [1.0, 0.0]])),
+            RoadSegment(1, np.array([[1.0, 0.0], [2.0, 0.0]])),
+        ]
+        net = RoadNetwork(segments, [(0, 1), (0, 1), (0, 0)])
+        assert net.edges == [(0, 1)]
+
+    def test_bad_segment_numbering(self):
+        with pytest.raises(ValueError):
+            RoadNetwork([RoadSegment(3, np.array([[0.0, 0.0], [1.0, 0.0]]))], [])
+
+    def test_edge_bounds_checked(self):
+        with pytest.raises(IndexError):
+            RoadNetwork([RoadSegment(0, np.array([[0.0, 0.0], [1.0, 0.0]]))], [(0, 5)])
+
+    def test_static_features_shape_and_content(self):
+        net = tiny_network()
+        f = net.static_features()
+        assert f.shape == (3, 11)
+        assert f[0, 2] == 1.0  # level-2 one-hot
+        assert f[2, 4] == 1.0
+        assert f[0, NUM_ROAD_LEVELS + 2] == 1.0  # one outgoing edge
+
+    def test_nearest_segment(self):
+        net = tiny_network()
+        sid, dist, ratio = net.nearest_segment(50.0, 5.0)
+        assert sid == 0
+        assert np.isclose(dist, 5.0)
+        assert np.isclose(ratio, 0.5)
+
+    def test_segments_within_sorted(self):
+        net = tiny_network()
+        hits = net.segments_within(50.0, 5.0, 500.0)
+        dists = [d for _, d in hits]
+        assert dists == sorted(dists)
+        assert hits[0][0] == 0
+
+    def test_position_projection_roundtrip(self):
+        net = tiny_network()
+        xy = net.position(1, 0.4)
+        dist, ratio = net.project(xy[0], xy[1], 1)
+        assert dist < 1e-9
+        assert np.isclose(ratio, 0.4)
+
+    def test_subnetwork_remaps(self):
+        net = tiny_network()
+        sub, mapping = net.subnetwork([1, 2])
+        assert sub.num_segments == 2
+        assert sub.edges == [(mapping[1], mapping[2])]
+
+    def test_make_grid_covers_bounds(self):
+        net = tiny_network()
+        grid = net.make_grid(cell_size=50.0)
+        x0, y0, x1, y1 = net.bounds()
+        assert grid.x0 <= x0 and grid.x1 >= x1
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_city(CityConfig(width=1000, height=1000, seed=5))
+        b = generate_city(CityConfig(width=1000, height=1000, seed=5))
+        assert a.num_segments == b.num_segments
+        assert a.edges == b.edges
+
+    def test_two_way_pairs_exist(self):
+        net = generate_city(CityConfig(width=1000, height=1000, seed=5))
+        # For at least one pair of segments, geometry is reversed.
+        found = False
+        for i in range(0, min(net.num_segments, 20), 2):
+            a, b = net.segments[i], net.segments[i + 1]
+            if np.allclose(a.polyline, b.polyline[::-1]):
+                found = True
+                break
+        assert found
+
+    def test_elevated_deck_present_and_marked(self):
+        net = generate_city(CityConfig(width=1500, height=1500, elevated_rows=(2,), seed=5))
+        elevated = [s for s in net.segments if s.elevated]
+        assert elevated
+        assert any(s.level == 0 for s in elevated)  # expressway deck
+        assert any(s.level == 1 for s in elevated)  # ramps
+
+    def test_no_elevated_when_disabled(self):
+        net = generate_city(CityConfig(width=1000, height=1000, elevated_rows=(), seed=5))
+        assert not any(s.elevated for s in net.segments)
+
+    def test_no_instant_u_turns(self):
+        net = generate_city(CityConfig(width=1000, height=1000, seed=5, allow_u_turn=False))
+        for a, b in net.edges:
+            pa, pb = net.segments[a].polyline, net.segments[b].polyline
+            # b must not be exactly a reversed (the opposite twin).
+            if pa.shape == pb.shape:
+                assert not np.allclose(pa, pb[::-1])
+
+    def test_strong_connectivity_bulk(self):
+        net = generate_city(CityConfig(width=1250, height=1250, seed=7))
+        engine = ShortestPathEngine(net)
+        reachable = np.isfinite(engine.distances_from(0)).mean()
+        assert reachable > 0.95
+
+    def test_too_small_city_rejected(self):
+        with pytest.raises(ValueError):
+            generate_city(CityConfig(width=200, height=200, block=250))
+
+
+class TestShortestPath:
+    def test_chain_distance(self):
+        net = tiny_network()
+        engine = ShortestPathEngine(net)
+        dist = engine.distances_from(0)
+        assert np.isclose(dist[0], 0.0)
+        assert np.isclose(dist[1], net.segments[1].length)
+        assert np.isclose(dist[2], net.segments[1].length + net.segments[2].length)
+
+    def test_route_recovery(self):
+        net = tiny_network()
+        engine = ShortestPathEngine(net)
+        assert engine.route(0, 2) == [0, 1, 2]
+        assert engine.route(1, 1) == [1]
+
+    def test_route_unreachable(self):
+        segments = [
+            RoadSegment(0, np.array([[0.0, 0.0], [1.0, 0.0]])),
+            RoadSegment(1, np.array([[5.0, 5.0], [6.0, 5.0]])),
+        ]
+        engine = ShortestPathEngine(RoadNetwork(segments, []))
+        assert engine.route(0, 1) is None
+
+    def test_matches_networkx_reference(self):
+        import networkx as nx
+
+        net = generate_city(CityConfig(width=1000, height=1000, seed=3))
+        engine = ShortestPathEngine(net)
+        g = nx.DiGraph()
+        for a, b in net.edges:
+            g.add_edge(a, b, weight=net.segments[b].length)
+        ref = nx.single_source_dijkstra_path_length(g, 0)
+        ours = engine.distances_from(0)
+        for node, d in list(ref.items())[:50]:
+            assert np.isclose(ours[node], d, atol=1e-6)
+
+    def test_position_distance_same_segment_forward(self):
+        net = tiny_network()
+        engine = ShortestPathEngine(net)
+        d = engine.position_distance(0, 0.2, 0, 0.7)
+        assert np.isclose(d, 0.5 * net.segments[0].length)
+
+    def test_position_distance_cross_segment(self):
+        net = tiny_network()
+        engine = ShortestPathEngine(net)
+        d = engine.position_distance(0, 0.5, 1, 0.5)
+        expected = 0.5 * net.segments[0].length + 0.5 * net.segments[1].length
+        assert np.isclose(d, expected)
+
+    def test_position_distance_backward_routes_around_loop(self):
+        net = tiny_network()
+        engine = ShortestPathEngine(net)
+        d = engine.position_distance(0, 0.7, 0, 0.2)
+        loop = net.segments[1].length + net.segments[2].length
+        assert np.isclose(d, 0.3 * net.segments[0].length + loop + 0.2 * net.segments[0].length)
+
+    def test_symmetric_distance_finite_fallback(self):
+        segments = [
+            RoadSegment(0, np.array([[0.0, 0.0], [10.0, 0.0]])),
+            RoadSegment(1, np.array([[50.0, 0.0], [60.0, 0.0]])),
+        ]
+        engine = ShortestPathEngine(RoadNetwork(segments, []))
+        d = engine.symmetric_position_distance(0, 0.0, 1, 0.0)
+        assert np.isclose(d, 50.0)  # straight-line fallback
+
+    def test_cache_hit_same_array(self):
+        net = tiny_network()
+        engine = ShortestPathEngine(net)
+        a = engine.distances_from(0)
+        b = engine.distances_from(0)
+        assert a is b
+
+    def test_route_length(self):
+        net = tiny_network()
+        engine = ShortestPathEngine(net)
+        total = engine.route_length([0, 1])
+        assert np.isclose(total, net.segments[0].length + net.segments[1].length)

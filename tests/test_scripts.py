@@ -1,0 +1,60 @@
+"""Tests for the helper scripts (cache population, experiment rendering)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestRenderExperiments:
+    def test_renders_without_error(self):
+        out = subprocess.run(
+            [sys.executable, str(REPO / "scripts" / "render_experiments.py")],
+            capture_output=True, text=True, check=True,
+        )
+        assert "# EXPERIMENTS — paper vs. measured" in out.stdout
+        assert "Table III" in out.stdout
+        assert "Fig. 7" in out.stdout
+
+    def test_paper_reference_numbers_present(self):
+        out = subprocess.run(
+            [sys.executable, str(REPO / "scripts" / "render_experiments.py")],
+            capture_output=True, text=True, check=True,
+        )
+        # Spot-check two published values from the paper's Table III.
+        assert "0.8272" in out.stdout  # RNTrajRec F1, Chengdu x8
+        assert "0.4916" in out.stdout  # Linear+HMM ACC, Chengdu x8
+
+
+class TestPopulateCacheScript:
+    def test_job_table_lists_all_jobs(self):
+        sys.path.insert(0, str(REPO / "scripts"))
+        try:
+            import populate_cache
+
+            assert set(populate_cache.JOBS) == {
+                "t3a", "t3b", "t3c", "t3d", "t4", "t5", "f6", "f7"
+            }
+            assert len(populate_cache.METHODS) == 9
+        finally:
+            sys.path.pop(0)
+
+
+class TestCacheFormat:
+    def test_cached_results_shape(self):
+        cache = REPO / "benchmarks" / "_cache"
+        files = list(cache.glob("*.json"))
+        if not files:
+            pytest.skip("benchmark cache not yet populated")
+        with open(files[0]) as handle:
+            row = json.load(handle)
+        for key in ("dataset", "method", "metrics", "sr_at_k",
+                    "inference_ms_per_trajectory", "num_parameters"):
+            assert key in row
+        assert set(row["metrics"]) == {
+            "Recall", "Precision", "F1 Score", "Accuracy", "MAE", "RMSE"
+        }

@@ -1,0 +1,142 @@
+"""Serving-layer benchmark: QPS and latency percentiles vs batch size.
+
+Measures :class:`repro.serve.RecoveryService` replaying held-out traces as
+concurrent requests at ``max_batch_size`` ∈ {1, 4, 16}, and writes a
+``BENCH_serving.json`` artifact into the shared benchmark cache directory
+(``REPRO_CACHE_DIR``, default ``benchmarks/_cache``) alongside the
+experiment-harness result files.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving_throughput.py -q -s
+
+Budget knobs: ``REPRO_BENCH_SERVE_TRAJECTORIES`` (default 160) and
+``REPRO_BENCH_SERVE_EPOCHS`` (default 2) keep the one-off training cheap;
+the model itself is cached across the three batch-size configurations.
+"""
+
+import json
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.core import RNTrajRec, Trainer
+from repro.experiments import bench_budget, get_dataset, quick_train_config, small_model_config
+from repro.serve import RecoveryRequest, RecoveryService, ServeConfig
+
+BATCH_SIZES = (1, 4, 16)
+ARTIFACT_NAME = "BENCH_serving.json"
+
+
+def _serve_budget():
+    return {
+        "trajectories": int(os.environ.get("REPRO_BENCH_SERVE_TRAJECTORIES", 160)),
+        "epochs": int(os.environ.get("REPRO_BENCH_SERVE_EPOCHS", 2)),
+        "hidden": bench_budget()["hidden"],
+    }
+
+
+@pytest.fixture(scope="module")
+def trained():
+    budget = _serve_budget()
+    data = get_dataset("chengdu", budget["trajectories"], 8)
+    model = RNTrajRec(data.network, small_model_config(budget["hidden"]))
+    Trainer(model, quick_train_config(budget["epochs"])).fit(data.train)
+    model.eval()
+    return data, model
+
+
+def _replay(service, requests):
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        futures = list(pool.map(service.submit, requests))
+    for future in futures:
+        future.result(timeout=600.0)
+    return time.perf_counter() - start
+
+
+def test_serving_throughput_vs_batch_size(trained):
+    data, model = trained
+    pool = data.test + data.val
+    requests = [
+        RecoveryRequest(s.raw_low.xy, s.raw_low.times, hour=s.hour,
+                        holiday=s.holiday, request_id=f"bench-{i}")
+        for i, s in enumerate(pool[i % len(pool)] for i in range(48))
+    ]
+
+    rows = []
+    for batch_size in BATCH_SIZES:
+        service = RecoveryService.from_model(model, ServeConfig.for_dataset(
+            data,
+            max_batch_size=batch_size,
+            max_wait_ms=25.0,
+            cache_capacity=0,  # measure the model path, not the cache
+        ))
+        elapsed = _replay(service, requests)
+        stats = service.stats()
+        service.close()
+        rows.append({
+            "max_batch_size": batch_size,
+            "requests": len(requests),
+            "wall_seconds": round(elapsed, 3),
+            "qps": round(len(requests) / elapsed, 3),
+            "latency_ms_p50": stats["latency_ms_p50"],
+            "latency_ms_p95": stats["latency_ms_p95"],
+            "mean_batch_occupancy": stats["mean_batch_occupancy"],
+            "max_batch_occupancy": stats["max_batch_occupancy"],
+        })
+
+    print("\nServing throughput — RNTrajRec RecoveryService, Chengdu (ε_τ = ε_ρ × 8)")
+    header = (f"{'batch':>6}{'QPS':>10}{'p50 ms':>10}{'p95 ms':>10}"
+              f"{'occ mean':>10}{'occ max':>9}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['max_batch_size']:>6}{row['qps']:>10.2f}"
+              f"{row['latency_ms_p50']:>10.1f}{row['latency_ms_p95']:>10.1f}"
+              f"{row['mean_batch_occupancy']:>10.2f}{row['max_batch_occupancy']:>9}")
+
+    cache_dir = Path(os.environ.get("REPRO_CACHE_DIR", "benchmarks/_cache"))
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    artifact = {
+        "benchmark": "serving_throughput",
+        "dataset": "chengdu_x8",
+        "budget": _serve_budget(),
+        "num_parameters": int(model.num_parameters()),
+        "rows": rows,
+    }
+    with open(cache_dir / ARTIFACT_NAME, "w") as handle:
+        json.dump(artifact, handle, indent=1)
+    print(f"wrote {cache_dir / ARTIFACT_NAME}")
+
+    by_size = {row["max_batch_size"]: row for row in rows}
+    # Batch size 1 cannot coalesce; 16 must actually batch under load.
+    assert by_size[1]["max_batch_occupancy"] == 1
+    assert by_size[16]["max_batch_occupancy"] > 1
+    # Loose sanity bound only: exact QPS ordering is noisy on a shared CPU,
+    # so we assert batching is not catastrophically slower than serial.
+    assert by_size[16]["qps"] >= 0.5 * by_size[1]["qps"]
+
+
+def test_serving_cache_hot_path(trained):
+    """Request-level cache: a hot repeated trace answers in microseconds."""
+    data, model = trained
+    service = RecoveryService.from_model(
+        model, ServeConfig.for_dataset(data, max_wait_ms=5.0))
+    sample = data.test[0]
+    request = RecoveryRequest(sample.raw_low.xy, sample.raw_low.times,
+                              hour=sample.hour, holiday=sample.holiday)
+    cold = service.recover(request, timeout=600.0)
+    hot = [service.recover(request, timeout=600.0) for _ in range(10)]
+    stats = service.stats()
+    service.close()
+
+    assert not cold.cached and all(r.cached for r in hot)
+    assert stats["cache_hit_rate"] > 0.9 * (10 / 11)
+    hot_ms = max(r.latency_ms for r in hot)
+    print(f"\ncold={cold.latency_ms:.1f} ms, hot(max of 10)={hot_ms:.3f} ms, "
+          f"speedup {cold.latency_ms / max(hot_ms, 1e-6):.0f}x")
+    assert hot_ms < cold.latency_ms

@@ -93,7 +93,11 @@ def load_results():
     results = []
     for path in sorted(CACHE.glob("*.json")):
         with open(path) as handle:
-            results.append(json.load(handle))
+            row = json.load(handle)
+        # The cache also holds standalone artifacts (e.g. BENCH_serving.json)
+        # that are not (dataset, method) experiment rows.
+        if "method" in row and "dataset" in row:
+            results.append(row)
     return results
 
 

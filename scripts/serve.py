@@ -1,0 +1,228 @@
+"""Serving CLI for the RNTrajRec recovery service (stdlib + repro only).
+
+Three subcommands:
+
+``train``    train a model on a registry dataset and save a serving bundle
+             (checkpoint ``.npz`` + config ``.json``)::
+
+                 PYTHONPATH=src python scripts/serve.py train \
+                     --dataset chengdu --epochs 5 --out runs/chengdu_model
+
+``oneshot``  start a service from a bundle (training a quick model first if
+             no bundle is given), replay test-split traces as concurrent
+             requests, and print per-request results plus ``stats()``::
+
+                 PYTHONPATH=src python scripts/serve.py oneshot \
+                     --dataset chengdu --bundle runs/chengdu_model --requests 20
+
+``http``     expose the service over a threaded stdlib HTTP server::
+
+                 PYTHONPATH=src python scripts/serve.py http \
+                     --dataset chengdu --bundle runs/chengdu_model --port 8008
+
+             Endpoints: ``POST /recover`` with a JSON body
+             ``{"points": [[x, y], ...], "times": [...], "hour": 12,
+             "holiday": false}``; ``GET /stats``; ``GET /healthz``.
+
+The road network is rebuilt deterministically from the dataset name, so a
+bundle trained with ``train`` always matches the network ``oneshot`` and
+``http`` reconstruct.
+"""
+
+import argparse
+import json
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.core import RNTrajRec, Trainer  # noqa: E402
+from repro.datasets import load_dataset  # noqa: E402
+from repro.experiments import quick_train_config, small_model_config  # noqa: E402
+from repro.serve import (  # noqa: E402
+    RecoveryRequest,
+    RecoveryService,
+    RequestError,
+    ServeConfig,
+    save_model_bundle,
+)
+
+
+def train_bundle(args) -> str:
+    data = load_dataset(args.dataset, num_trajectories=args.trajectories)
+    model = RNTrajRec(data.network, small_model_config(args.hidden))
+    print(f"Training {args.dataset} model ({model.num_parameters():,} parameters, "
+          f"{args.epochs} epochs) ...")
+    Trainer(model, quick_train_config(args.epochs)).fit(data.train)
+    ckpt, config = save_model_bundle(model, args.out)
+    print(f"Saved bundle: {ckpt} + {config}")
+    return args.out
+
+
+def build_service(args) -> tuple:
+    """(service, loaded dataset) for the oneshot/http subcommands."""
+    data = load_dataset(args.dataset, num_trajectories=args.trajectories)
+    serve_config = ServeConfig.for_dataset(
+        data,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        cache_capacity=args.cache_capacity,
+    )
+    bundle = args.bundle
+    if bundle is None:
+        print("No --bundle given; training a quick model in-process ...")
+        model = RNTrajRec(data.network, small_model_config(args.hidden))
+        Trainer(model, quick_train_config(args.epochs)).fit(data.train)
+        model.eval()
+        return RecoveryService.from_model(model, serve_config), data
+    return RecoveryService.from_checkpoint(bundle, data.network, serve_config), data
+
+
+def run_oneshot(args) -> None:
+    service, data = build_service(args)
+    try:
+        pool = data.test + data.val
+        if not pool:
+            raise SystemExit("dataset has no held-out trajectories to replay")
+        samples = [pool[i % len(pool)] for i in range(args.requests)]
+        requests = [
+            RecoveryRequest(s.raw_low.xy, s.raw_low.times, hour=s.hour,
+                            holiday=s.holiday, request_id=f"req-{i}")
+            for i, s in enumerate(samples)
+        ]
+        print(f"Submitting {len(requests)} concurrent requests ...")
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=8) as pool_:
+            futures = list(pool_.map(service.submit, requests))
+        responses = [f.result(timeout=300.0) for f in futures]
+        elapsed = time.perf_counter() - start
+
+        for response in responses[:5]:
+            path = response.trajectory.travel_path()[:8].tolist()
+            print(f"  {response.request_id}: {len(response.trajectory)} points, "
+                  f"{'cache' if response.cached else 'model'}, "
+                  f"{response.latency_ms:.1f} ms, path {path} ...")
+        if len(responses) > 5:
+            print(f"  ... and {len(responses) - 5} more")
+        print(f"Recovered {len(responses)} trajectories in {elapsed:.2f}s")
+        print(json.dumps(service.stats(), indent=1))
+    finally:
+        service.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    service: RecoveryService = None  # set by run_http
+
+    def _send(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt, *log_args):  # quiet default access log
+        pass
+
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            self._send(200, {"status": "ok"})
+        elif self.path == "/stats":
+            self._send(200, self.service.stats())
+        else:
+            self._send(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:
+        if self.path != "/recover":
+            self._send(404, {"error": f"unknown path {self.path}"})
+            return
+        try:
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                payload = json.loads(self.rfile.read(length) or b"{}")
+                request = RecoveryRequest(
+                    xy=payload["points"], times=payload["times"],
+                    hour=int(payload.get("hour", 12)),
+                    holiday=bool(payload.get("holiday", False)),
+                    request_id=str(payload.get("request_id", "")),
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                self._send(400, {"error": str(exc)})
+                return
+            response = self.service.recover(request, timeout=300.0)
+            self._send(200, {
+                "request_id": response.request_id,
+                "segments": response.trajectory.segments.tolist(),
+                "ratios": [round(float(r), 6) for r in response.trajectory.ratios],
+                "times": response.trajectory.times.tolist(),
+                "cached": response.cached,
+                "latency_ms": round(response.latency_ms, 3),
+                "model": response.model,
+            })
+        except RequestError as exc:  # ingest rejected the trace
+            self._send(400, {"error": str(exc)})
+        except Exception as exc:  # timeouts / model faults are server errors
+            self._send(500, {"error": str(exc)})
+
+
+def run_http(args) -> None:
+    service, _ = build_service(args)
+    _Handler.service = service
+    server = ThreadingHTTPServer((args.host, args.port), _Handler)
+    print(f"Serving recovery API on http://{args.host}:{args.port} "
+          f"(POST /recover, GET /stats, GET /healthz); Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+        print(json.dumps(service.stats(), indent=1))
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--dataset", default="chengdu")
+        p.add_argument("--trajectories", type=int, default=160)
+        p.add_argument("--hidden", type=int, default=32)
+        p.add_argument("--epochs", type=int, default=5)
+
+    t = sub.add_parser("train", help="train a model and save a serving bundle")
+    common(t)
+    t.add_argument("--out", required=True, help="bundle prefix (writes .npz + .json)")
+
+    for name, help_text in (("oneshot", "replay held-out traces as requests"),
+                            ("http", "serve a stdlib HTTP JSON API")):
+        p = sub.add_parser(name, help=help_text)
+        common(p)
+        p.add_argument("--bundle", default=None, help="bundle prefix from `train`")
+        p.add_argument("--max-batch-size", type=int, default=16)
+        p.add_argument("--max-wait-ms", type=float, default=20.0)
+        p.add_argument("--cache-capacity", type=int, default=1024)
+        if name == "oneshot":
+            p.add_argument("--requests", type=int, default=20)
+        else:
+            p.add_argument("--host", default="127.0.0.1")
+            p.add_argument("--port", type=int, default=8008)
+
+    args = parser.parse_args(argv)
+    if args.command == "train":
+        train_bundle(args)
+    elif args.command == "oneshot":
+        run_oneshot(args)
+    else:
+        run_http(args)
+
+
+if __name__ == "__main__":
+    main()

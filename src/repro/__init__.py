@@ -15,7 +15,10 @@ This package reimplements the complete system in pure numpy:
 * :mod:`repro.eval` — MAE/RMSE (road distance), Recall/Precision/F1,
   Accuracy, SR%k;
 * :mod:`repro.datasets` / :mod:`repro.experiments` — dataset registry and
-  the cached experiment harness behind every benchmark.
+  the cached experiment harness behind every benchmark;
+* :mod:`repro.serve` — online serving: :class:`~repro.serve.RecoveryService`
+  with micro-batching, a hot-swappable model registry, request-level
+  caching and telemetry (see ``scripts/serve.py``).
 
 Quickstart::
 

@@ -251,10 +251,19 @@ def interpolation_prior(batch: Batch, network, scale: float, floor: float) -> np
         low = sample.raw_low
         xs = np.interp(batch.target_times[i], low.times, low.xy[:, 0])
         ys = np.interp(batch.target_times[i], low.times, low.xy[:, 1])
+        # Consecutive steps that interpolate to the same position (clamped
+        # tails past the last fix, padded serving grids, stationary spans)
+        # share one R-tree query and prior row.
+        prev_xy = None
         for j in range(l_rho):
-            hits = network.segments_within(float(xs[j]), float(ys[j]), radius)
+            xy = (float(xs[j]), float(ys[j]))
+            if xy == prev_xy:
+                prior[i, j] = prior[i, j - 1]
+                continue
+            hits = network.segments_within(xy[0], xy[1], radius)
             for sid, dist in hits:
                 prior[i, j, sid] = max(np.exp(-(dist / scale) ** 2), floor)
+            prev_xy = xy
     return prior
 
 

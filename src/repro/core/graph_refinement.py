@@ -39,8 +39,8 @@ class GraphNorm(nn.Module):
         self.momentum = momentum
         self.gamma = nn.Parameter(np.ones(dim), name="graphnorm.gamma")
         self.beta = nn.Parameter(np.zeros(dim), name="graphnorm.beta")
-        self.running_mean = np.zeros(dim)
-        self.running_var = np.ones(dim)
+        self.register_buffer("running_mean", np.zeros(dim))
+        self.register_buffer("running_var", np.ones(dim))
 
     def forward(self, nodes: Tensor, graphs: SubGraphBatch) -> Tensor:
         if self.training:

@@ -12,7 +12,7 @@ constraint masks and multi-task heads.  The public surface is:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,11 +30,14 @@ from .loss import LossBreakdown, total_loss
 class RNTrajRec(nn.Module):
     """Road Network enhanced Trajectory Recovery model."""
 
-    def __init__(self, network: RoadNetwork, config: Optional[RNTrajRecConfig] = None) -> None:
+    def __init__(self, network: RoadNetwork, config: Optional[RNTrajRecConfig] = None,
+                 grid=None) -> None:
         super().__init__()
         self.network = network
         self.config = config or RNTrajRecConfig()
-        self.encoder = GPSFormer(network, self.config)
+        # ``grid`` lets the serving model registry pin one Grid across every
+        # loaded model instead of rebuilding it per checkpoint.
+        self.encoder = GPSFormer(network, self.config, grid=grid)
         self.decoder = RecoveryDecoder(network.num_segments, self.config)
         # Projection w of Eq. 18 (graph classification loss).
         self.graph_projection = nn.Parameter(
@@ -108,4 +111,26 @@ class RNTrajRec(nn.Module):
         return [
             MatchedTrajectory(segments[i], rates[i], batch.target_times[i])
             for i in range(batch.size)
+        ]
+
+    def recover_padded(
+        self, batch: Batch, target_lengths: Sequence[int]
+    ) -> List[MatchedTrajectory]:
+        """Batched no-teacher-forcing recovery of a target-padded batch.
+
+        The serving scheduler coalesces concurrent requests whose target
+        lengths differ by padding them to a common grid
+        (:func:`~repro.trajectory.dataset.make_padded_batch`); this decodes
+        the whole batch in one greedy pass and truncates each output back
+        to its true length.  Greedy decoding is stepwise-causal and every
+        per-step computation is row-independent, so the truncated outputs
+        equal per-request :meth:`recover` calls.
+        """
+        if len(target_lengths) != batch.size:
+            raise ValueError("target_lengths must have one entry per sample")
+        segments, rates = self.recover(batch)
+        return [
+            MatchedTrajectory(segments[i, :length], rates[i, :length],
+                              batch.target_times[i, :length])
+            for i, length in enumerate(target_lengths)
         ]

@@ -9,7 +9,9 @@ from .harness import (
     format_table,
     get_dataset,
     get_engine,
+    quick_train_config,
     run_experiment,
+    small_model_config,
 )
 
 __all__ = [
@@ -21,5 +23,7 @@ __all__ = [
     "format_table",
     "get_dataset",
     "get_engine",
+    "quick_train_config",
     "run_experiment",
+    "small_model_config",
 ]

@@ -51,6 +51,23 @@ def bench_budget() -> Dict[str, int]:
     }
 
 
+def small_model_config(hidden: int = 32, **overrides) -> RNTrajRecConfig:
+    """The repo's standard small-CPU model configuration, shared by the
+    harness, serving CLI, examples and benchmarks."""
+    params = dict(hidden_dim=hidden, num_heads=4, dropout=0.0,
+                  receptive_delta=300.0, max_subgraph_nodes=32)
+    params.update(overrides)
+    return RNTrajRecConfig(**params)
+
+
+def quick_train_config(epochs: int, **overrides) -> TrainConfig:
+    """The matching standard training recipe."""
+    params = dict(epochs=epochs, batch_size=16, learning_rate=5e-3,
+                  clip_norm=10.0, teacher_forcing_ratio=0.2, validate=False)
+    params.update(overrides)
+    return TrainConfig(**params)
+
+
 @dataclass
 class ExperimentResult:
     """One (dataset, method) cell of a results table."""
@@ -133,14 +150,8 @@ def run_experiment(
     """Train ``method`` on ``dataset`` and evaluate on its test split."""
     budget = bench_budget()
     trajectories = trajectories or budget["trajectories"]
-    model_config = model_config or RNTrajRecConfig(
-        hidden_dim=budget["hidden"], num_heads=4, dropout=0.0,
-        receptive_delta=300.0, max_subgraph_nodes=32,
-    )
-    train_config = train_config or TrainConfig(
-        epochs=budget["epochs"], batch_size=16, learning_rate=5e-3,
-        clip_norm=10.0, teacher_forcing_ratio=0.2, validate=False,
-    )
+    model_config = model_config or small_model_config(budget["hidden"])
+    train_config = train_config or quick_train_config(budget["epochs"])
 
     key = _fingerprint(
         {

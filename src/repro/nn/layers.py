@@ -100,8 +100,8 @@ class BatchNorm(Module):
         self.momentum = momentum
         self.gamma = Parameter(init.ones((dim,)), name="batchnorm.gamma")
         self.beta = Parameter(init.zeros((dim,)), name="batchnorm.beta")
-        self.running_mean = np.zeros((dim,), dtype=np.float64)
-        self.running_var = np.ones((dim,), dtype=np.float64)
+        self.register_buffer("running_mean", np.zeros((dim,), dtype=np.float64))
+        self.register_buffer("running_var", np.ones((dim,), dtype=np.float64))
 
     def forward(self, x: Tensor) -> Tensor:
         axes = tuple(range(x.ndim - 1))

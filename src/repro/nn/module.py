@@ -3,7 +3,9 @@
 Modules register :class:`Parameter` attributes and child modules
 automatically via ``__setattr__``; ``parameters()`` walks the tree, and
 ``state_dict()`` / ``load_state_dict()`` give flat name->array views used
-by :mod:`repro.nn.serialization`.
+by :mod:`repro.nn.serialization`.  Non-learned state that must survive a
+checkpoint round-trip (batch/graph-norm running statistics) is declared
+with :meth:`Module.register_buffer` and travels with the state dict.
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ class Module:
     def __init__(self) -> None:
         object.__setattr__(self, "_parameters", OrderedDict())
         object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
         object.__setattr__(self, "training", True)
 
     # ------------------------------------------------------------------
@@ -45,6 +48,17 @@ class Module:
         self._modules[name] = module
         object.__setattr__(self, name, module)
 
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Declare non-learned persistent state (e.g. running statistics).
+
+        Buffers are plain numpy arrays: forward passes may reassign the
+        attribute freely (``self.running_mean = ...``); the registry only
+        records the *name*, so the current value is always what
+        ``state_dict()`` captures.
+        """
+        self._buffers[name] = True
+        object.__setattr__(self, name, np.asarray(value, dtype=np.float64))
+
     # ------------------------------------------------------------------
     # Traversal
     # ------------------------------------------------------------------
@@ -56,6 +70,16 @@ class Module:
             yield prefix + name, param
         for name, module in self._modules.items():
             yield from module.named_parameters(prefix + name + ".")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, owner, attr in self._buffer_owners(prefix):
+            yield name, getattr(owner, attr)
+
+    def _buffer_owners(self, prefix: str = "") -> Iterator[Tuple[str, "Module", str]]:
+        for name in self._buffers:
+            yield prefix + name, self, name
+        for name, module in self._modules.items():
+            yield from module._buffer_owners(prefix + name + ".")
 
     def modules(self) -> Iterator["Module"]:
         yield self
@@ -85,15 +109,22 @@ class Module:
     # Serialization
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:
-        return {name: param.data.copy() for name, param in self.named_parameters()}
+        state = {name: param.data.copy() for name, param in self.named_parameters()}
+        state.update({name: np.asarray(value).copy() for name, value in self.named_buffers()})
+        return state
 
     def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
-        own = dict(self.named_parameters())
-        missing = set(own) - set(state)
-        unexpected = set(state) - set(own)
+        own_params = dict(self.named_parameters())
+        own_buffers = {name: (owner, attr) for name, owner, attr in self._buffer_owners()}
+        own_names = set(own_params) | set(own_buffers)
+        # Missing *buffers* are tolerated even under strict loading: older
+        # checkpoints predate buffer serialization, and an absent buffer
+        # simply keeps its initialized value.  Parameters stay strict.
+        missing = set(own_params) - set(state)
+        unexpected = set(state) - own_names
         if strict and (missing or unexpected):
             raise KeyError(f"state mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
-        for name, param in own.items():
+        for name, param in own_params.items():
             if name not in state:
                 continue
             value = np.asarray(state[name], dtype=param.data.dtype)
@@ -102,6 +133,16 @@ class Module:
                     f"shape mismatch for {name}: saved {value.shape}, model {param.data.shape}"
                 )
             param.data = value.copy()
+        for name, (owner, attr) in own_buffers.items():
+            if name not in state:
+                continue
+            current = np.asarray(getattr(owner, attr))
+            value = np.asarray(state[name], dtype=current.dtype)
+            if value.shape != current.shape:
+                raise ValueError(
+                    f"shape mismatch for buffer {name}: saved {value.shape}, model {current.shape}"
+                )
+            object.__setattr__(owner, attr, value.copy())
 
     # ------------------------------------------------------------------
     # Call protocol

@@ -1,4 +1,10 @@
-"""Checkpoint save/load: model state dicts as ``.npz`` archives."""
+"""Checkpoint save/load: model state dicts as ``.npz`` archives.
+
+Both functions normalize the path to a ``.npz`` suffix, so
+``save_checkpoint(m, "ckpt")`` followed by ``load_checkpoint(m, "ckpt")``
+round-trips: ``np.savez`` appends the suffix on write, and without the
+same normalization the reader would look for a file that does not exist.
+"""
 
 from __future__ import annotations
 
@@ -10,18 +16,29 @@ import numpy as np
 from .module import Module
 
 
-def save_checkpoint(module: Module, path: str) -> None:
-    """Write the module's parameters to ``path`` (npz)."""
+def _normalize(path) -> str:
+    """The on-disk archive path: ``np.savez`` semantics made explicit."""
+    path = os.fspath(path)
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def save_checkpoint(module: Module, path: str) -> str:
+    """Write the module's parameters and buffers to ``path`` (npz).
+
+    Returns the normalized path actually written.
+    """
+    path = _normalize(path)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     state = module.state_dict()
     # npz keys may not contain '/', so keep the dotted names as-is.
     np.savez(path, **state)
+    return path
 
 
 def load_checkpoint(module: Module, path: str, strict: bool = True) -> Module:
     """Load parameters saved by :func:`save_checkpoint` into ``module``."""
-    with np.load(path) as archive:
+    with np.load(_normalize(path)) as archive:
         state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
     module.load_state_dict(state, strict=strict)
     return module

@@ -1,0 +1,42 @@
+"""``repro.serve`` — online trajectory-recovery serving subsystem.
+
+Turns the offline RNTrajRec reproduction into a service: raw low-sample
+GPS traces in, recovered ε_ρ map-matched trajectories out, with
+micro-batching, a hot-swappable model registry, request-level caching and
+telemetry.  See :class:`RecoveryService` for the facade and
+``scripts/serve.py`` / ``examples/serve_demo.py`` for runnable entries.
+"""
+
+from .batching import BatchPolicy, MicroBatcher
+from .cache import LRUCache, quantize_key
+from .registry import ModelRegistry, bundle_paths, load_bundle_config, save_model_bundle
+from .request import (
+    IngestConfig,
+    RecoveryRequest,
+    RecoveryResponse,
+    RequestError,
+    assemble_sample,
+    grid_alignment,
+)
+from .service import RecoveryService, ServeConfig
+from .telemetry import ServingTelemetry
+
+__all__ = [
+    "BatchPolicy",
+    "MicroBatcher",
+    "LRUCache",
+    "quantize_key",
+    "ModelRegistry",
+    "bundle_paths",
+    "load_bundle_config",
+    "save_model_bundle",
+    "IngestConfig",
+    "RecoveryRequest",
+    "RecoveryResponse",
+    "RequestError",
+    "assemble_sample",
+    "grid_alignment",
+    "RecoveryService",
+    "ServeConfig",
+    "ServingTelemetry",
+]

@@ -1,0 +1,186 @@
+"""Model registry: named checkpoints, hot-swap, pinned shared structures.
+
+A bundle is a checkpoint (``<prefix>.npz`` via ``nn.serialization``) plus a
+JSON sidecar (``<prefix>.json``) holding the ``RNTrajRecConfig`` the model
+was trained with, so a registry can rebuild the exact architecture without
+out-of-band knowledge.  The registry owns the expensive shared structures —
+the :class:`RoadNetwork` (with its R-tree), one :class:`Grid` per cell
+size, and one :class:`ReachabilityMask` per hop count — and pins them into
+every model it loads, so hot-swapping checkpoints never rebuilds them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import asdict
+from typing import Dict, Optional, Tuple
+
+from ..core.config import RNTrajRecConfig
+from ..core.decoder import ReachabilityMask
+from ..core.model import RNTrajRec
+from ..geo.grid import Grid
+from ..nn.serialization import load_checkpoint, save_checkpoint
+from ..roadnet.network import RoadNetwork
+
+
+def bundle_paths(prefix: str) -> Tuple[str, str]:
+    """(checkpoint path, config path) for a bundle prefix."""
+    stem = prefix[:-4] if prefix.endswith(".npz") else prefix
+    return stem + ".npz", stem + ".json"
+
+
+def save_model_bundle(model: RNTrajRec, prefix: str) -> Tuple[str, str]:
+    """Write ``<prefix>.npz`` + ``<prefix>.json`` and return both paths."""
+    ckpt_path, config_path = bundle_paths(prefix)
+    save_checkpoint(model, ckpt_path)
+    with open(config_path, "w") as handle:
+        json.dump({"model": "rntrajrec", "config": asdict(model.config)}, handle, indent=1)
+    return ckpt_path, config_path
+
+
+def load_bundle_config(prefix: str) -> Optional[RNTrajRecConfig]:
+    """The config sidecar of a bundle, or None if it has none."""
+    _, config_path = bundle_paths(prefix)
+    if not os.path.exists(config_path):
+        return None
+    with open(config_path) as handle:
+        payload = json.load(handle)
+    fields = payload.get("config", payload)
+    known = set(RNTrajRecConfig.__dataclass_fields__)
+    return RNTrajRecConfig(**{k: v for k, v in fields.items() if k in known})
+
+
+class ModelRegistry:
+    """Named RNTrajRec checkpoints over one pinned road network."""
+
+    def __init__(self, network: RoadNetwork,
+                 default_config: Optional[RNTrajRecConfig] = None) -> None:
+        self.network = network
+        self.default_config = default_config
+        self._lock = threading.RLock()
+        self._prefixes: Dict[str, str] = {}
+        self._loaded: Dict[str, RNTrajRec] = {}
+        # Bumped whenever a name is (re)registered: serving cache keys and
+        # batch group keys fold in the generation, so re-registering an
+        # updated checkpoint under an existing name invalidates old entries.
+        self._generations: Dict[str, int] = {}
+        self._grids: Dict[float, Grid] = {}
+        self._reachability: Dict[int, ReachabilityMask] = {}
+        self._active: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, prefix: str, activate: bool = False) -> None:
+        """Register a bundle prefix under ``name`` (lazy-loaded)."""
+        with self._lock:
+            self._prefixes[name] = prefix
+            self._loaded.pop(name, None)  # re-registering invalidates the old load
+            self._generations[name] = self._generations.get(name, 0) + 1
+            if activate or self._active is None:
+                self._active = name
+
+    def add_loaded(self, name: str, model: RNTrajRec, activate: bool = False) -> None:
+        """Register an already-built model (in-memory hot-swap, tests)."""
+        model.eval()
+        self._pin(model)
+        with self._lock:
+            self._loaded[name] = model
+            self._generations[name] = self._generations.get(name, 0) + 1
+            if activate or self._active is None:
+                self._active = name
+
+    def load(self, name: str) -> RNTrajRec:
+        """The named model, loading and pinning it on first use.
+
+        The expensive work (model construction, checkpoint read, mask
+        building) happens outside the lock so serving threads calling
+        :meth:`active` are never stalled by a hot-swap load; concurrent
+        first loads of the same name race benignly (one result wins).
+        """
+        with self._lock:
+            if name in self._loaded:
+                return self._loaded[name]
+            if name not in self._prefixes:
+                raise KeyError(f"unknown model {name!r}; registered: {self.names()}")
+            prefix = self._prefixes[name]
+            generation = self._generations.get(name, 0)
+        config = load_bundle_config(prefix) or self.default_config or RNTrajRecConfig()
+        model = RNTrajRec(self.network, config, grid=self._shared_grid(config))
+        load_checkpoint(model, bundle_paths(prefix)[0])
+        model.eval()
+        self._pin(model)
+        with self._lock:
+            if self._generations.get(name, 0) == generation:
+                return self._loaded.setdefault(name, model)
+        # Re-registered while we were loading: discard and load the new bundle.
+        return self.load(name)
+
+    def activate(self, name: str) -> RNTrajRec:
+        """Make ``name`` the active model (hot-swap), loading if needed."""
+        model = self.load(name)
+        with self._lock:
+            self._active = name
+        return model
+
+    def active(self) -> Tuple[str, RNTrajRec]:
+        with self._lock:
+            name = self._active
+        if name is None:
+            raise RuntimeError("registry has no active model")
+        return name, self.load(name)
+
+    def active_ref(self) -> Tuple[str, str, RNTrajRec]:
+        """(name, generation tag, model) — the tag distinguishes successive
+        checkpoints registered under the same name.  The pairing is atomic:
+        if a re-register lands between reading the tag and loading the
+        model, we retry so a tag is never paired with a newer generation's
+        model (which would let stale and fresh results share cache keys)."""
+        while True:
+            with self._lock:
+                name = self._active
+                if name is None:
+                    raise RuntimeError("registry has no active model")
+                generation = self._generations.get(name, 0)
+            model = self.load(name)
+            with self._lock:
+                if (self._active == name
+                        and self._generations.get(name, 0) == generation):
+                    return name, f"{name}#{generation}", model
+
+    def names(self):
+        with self._lock:
+            return sorted(set(self._prefixes) | set(self._loaded))
+
+    @property
+    def active_name(self) -> Optional[str]:
+        with self._lock:
+            return self._active
+
+    # ------------------------------------------------------------------
+    def _shared_grid(self, config: RNTrajRecConfig) -> Grid:
+        cell = float(config.grid_cell_size)
+        with self._lock:
+            grid = self._grids.get(cell)
+        if grid is None:
+            built = self.network.make_grid(cell)  # built outside the lock
+            with self._lock:
+                grid = self._grids.setdefault(cell, built)
+        return grid
+
+    def _pin(self, model: RNTrajRec) -> None:
+        """Share one reachability mask per hop count across loaded models."""
+        hops = model.config.reachability_hops
+        if hops <= 0:
+            return
+        with self._lock:
+            mask = self._reachability.get(hops)
+        if mask is None:
+            # Adopt a mask the model already built lazily rather than
+            # repeating the k-hop BFS over every segment.
+            built = model._reachability
+            if built is None or built.hops != hops:
+                built = ReachabilityMask(self.network.out_neighbors, hops=hops)
+            with self._lock:
+                mask = self._reachability.setdefault(hops, built)
+        model._reachability = mask

@@ -1,0 +1,148 @@
+"""Serving request/response types and raw-GPS → sample assembly.
+
+At serving time there is no ground-truth target; a request carries only the
+raw low-sample GPS fixes (plus the environmental context the encoder
+expects).  :func:`assemble_sample` rebuilds exactly the structures the
+offline :func:`~repro.trajectory.dataset.build_samples` pipeline produces —
+the ε_ρ output time grid, the observed-step alignment, and the Eq. 16
+constraint masks — with a dummy all-zeros target, so the trained model's
+:meth:`recover` path runs unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..roadnet.network import RoadNetwork
+from ..trajectory.dataset import RecoverySample, SparseMask, constraint_for_fix
+from ..trajectory.resample import epsilon_grid
+from ..trajectory.trajectory import MatchedTrajectory, RawTrajectory
+
+
+class RequestError(ValueError):
+    """A request that cannot be turned into a valid recovery sample."""
+
+
+@dataclass(frozen=True)
+class RecoveryRequest:
+    """One raw low-sample GPS trace to densify.
+
+    ``xy`` is (n, 2) planar meters, ``times`` (n,) seconds (strictly
+    increasing); ``hour``/``holiday`` are the environmental context features
+    of §IV-E (defaulting to a weekday noon).
+    """
+
+    xy: np.ndarray
+    times: np.ndarray
+    hour: int = 12
+    holiday: bool = False
+    request_id: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "xy", np.asarray(self.xy, dtype=np.float64))
+        object.__setattr__(self, "times", np.asarray(self.times, dtype=np.float64))
+
+    @classmethod
+    def from_raw(cls, raw: RawTrajectory, hour: int = 12, holiday: bool = False,
+                 request_id: str = "") -> "RecoveryRequest":
+        return cls(xy=raw.xy, times=raw.times, hour=hour, holiday=holiday,
+                   request_id=request_id)
+
+    def raw(self) -> RawTrajectory:
+        """Validated raw-trajectory view (raises on malformed input)."""
+        try:
+            raw = RawTrajectory(self.xy, self.times)
+        except ValueError as exc:
+            raise RequestError(str(exc)) from exc
+        # JSON happily carries NaN/Infinity literals; they pass the shape
+        # and monotonicity checks but poison constraint assembly downstream.
+        if not (np.all(np.isfinite(raw.xy)) and np.all(np.isfinite(raw.times))):
+            raise RequestError("GPS positions and times must be finite")
+        return raw
+
+
+@dataclass(frozen=True)
+class RecoveryResponse:
+    """The recovered ε_ρ trajectory plus per-request serving metadata."""
+
+    request_id: str
+    trajectory: MatchedTrajectory
+    cached: bool
+    latency_ms: float
+    model: str = ""
+
+
+@dataclass(frozen=True)
+class IngestConfig:
+    """Raw-GPS → sample assembly parameters (mirrors ``DatasetConfig``)."""
+
+    interval: float = 12.0        # ε_ρ output grid spacing (seconds)
+    beta: float = 15.0            # constraint-mask kernel scale (meters)
+    max_gps_error: float = 100.0  # constraint-mask search radius (meters)
+
+
+def grid_alignment(times: np.ndarray, interval: float) -> tuple:
+    """(grid times, snapped step indices) for a raw trace on the ε_ρ grid.
+
+    Single source of truth for how a trace maps onto its output grid — the
+    decoder (via :func:`assemble_sample`) and the result-cache key derive
+    from this one function, so they can never disagree about grid length or
+    fix-to-step alignment.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    grid_times = epsilon_grid(float(times[0]), float(times[-1]), interval)
+    steps = np.clip(
+        np.round((times - times[0]) / interval).astype(np.int64),
+        0, len(grid_times) - 1,
+    )
+    return grid_times, steps
+
+
+def assemble_sample(request: RecoveryRequest, network: RoadNetwork,
+                    config: Optional[IngestConfig] = None,
+                    alignment=None) -> RecoverySample:
+    """Build a target-less :class:`RecoverySample` from a raw request.
+
+    The output grid spans [t0, t_end] at ``config.interval``; each input fix
+    snaps to its nearest grid step (they must map to distinct, increasing
+    steps) and contributes an Eq. 16 constraint row, exactly as the offline
+    dataset builder does.  The target arrays are placeholders — only their
+    length and time grid drive decoding.  ``alignment`` lets a caller that
+    already ran :func:`grid_alignment` (the serving cache key path) pass the
+    result in instead of recomputing it.
+    """
+    config = config or IngestConfig()
+    raw = request.raw()
+    if len(raw) < 2:
+        raise RequestError("a recovery request needs at least two GPS fixes")
+    grid_times, steps = alignment if alignment is not None else grid_alignment(
+        raw.times, config.interval)
+    if np.any(np.diff(steps) <= 0):
+        raise RequestError(
+            "input fixes must map to distinct increasing ε_ρ steps; "
+            f"got {steps.tolist()} for interval {config.interval}"
+        )
+
+    constraints: list[SparseMask] = [None] * len(grid_times)
+    for input_pos, target_step in enumerate(steps):
+        x, y = raw.xy[input_pos]
+        constraints[int(target_step)] = constraint_for_fix(
+            network, x, y, config.beta, config.max_gps_error
+        )
+
+    placeholder = MatchedTrajectory(
+        np.zeros(len(grid_times), dtype=np.int64),
+        np.zeros(len(grid_times)),
+        grid_times,
+    )
+    return RecoverySample(
+        raw_low=raw,
+        target=placeholder,
+        observed_steps=steps,
+        constraints=tuple(constraints),
+        hour=int(request.hour) % 24,
+        holiday=bool(request.holiday),
+    )

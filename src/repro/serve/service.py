@@ -1,0 +1,264 @@
+"""`RecoveryService` — the online trajectory-recovery facade.
+
+Raw GPS requests come in; recovered ε_ρ trajectories come out.  The
+pipeline per request:
+
+1. **cache probe** — quantized-input LRU lookup (keyed with the active
+   model name, so hot-swaps never serve stale results);
+2. **assembly** — :func:`~repro.serve.request.assemble_sample` turns the
+   raw fixes into the same sample structure the offline pipeline builds;
+3. **micro-batching** — the scheduler coalesces concurrent requests that
+   share an input length, pads their target grids to a common length and
+   runs one :meth:`RNTrajRec.recover_padded` call;
+4. **telemetry** — latency, QPS, cache and occupancy counters behind
+   :meth:`RecoveryService.stats`.
+
+``submit`` is the async surface (returns a future), ``recover`` the
+blocking convenience, ``recover_many`` the bulk path used by the demo,
+benchmark and CLI.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.config import RNTrajRecConfig
+from ..core.model import RNTrajRec
+from ..roadnet.network import RoadNetwork
+from ..trajectory.dataset import RecoverySample, make_padded_batch
+from ..trajectory.trajectory import MatchedTrajectory
+from .batching import BatchPolicy, MicroBatcher
+from .cache import LRUCache, quantize_key
+from .registry import ModelRegistry
+from .request import (
+    IngestConfig,
+    RecoveryRequest,
+    RecoveryResponse,
+    RequestError,
+    assemble_sample,
+    grid_alignment,
+)
+from .telemetry import ServingTelemetry
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Serving-layer knobs: ingest grid, batching policy, cache sizing."""
+
+    interval: float = 12.0         # ε_ρ output grid spacing (seconds)
+    beta: float = 15.0             # constraint kernel scale (meters)
+    max_gps_error: float = 100.0   # constraint search radius (meters)
+    max_batch_size: int = 16
+    max_wait_ms: float = 5.0
+    cache_capacity: int = 1024
+    xy_precision: float = 0.1      # cache-key quantization (meters)
+    time_precision: float = 0.1    # cache-key quantization (seconds)
+
+    @classmethod
+    def for_dataset(cls, data, **overrides) -> "ServeConfig":
+        """Ingest parameters derived from a ``LoadedDataset``'s spec, so the
+        serving constraint masks match the ones the model was trained with
+        (ε_ρ interval, β kernel scale, GPS error radius)."""
+        params = dict(
+            interval=data.spec.simulation.sample_interval,
+            beta=data.spec.dataset.beta,
+            max_gps_error=data.spec.dataset.max_gps_error,
+        )
+        params.update(overrides)
+        return cls(**params)
+
+    def ingest(self) -> IngestConfig:
+        return IngestConfig(interval=self.interval, beta=self.beta,
+                            max_gps_error=self.max_gps_error)
+
+    def policy(self) -> BatchPolicy:
+        return BatchPolicy(max_batch_size=self.max_batch_size,
+                           max_wait_ms=self.max_wait_ms)
+
+
+class RecoveryService:
+    """Online recovery over a :class:`ModelRegistry`."""
+
+    def __init__(self, registry: ModelRegistry,
+                 config: Optional[ServeConfig] = None) -> None:
+        self.registry = registry
+        self.config = config or ServeConfig()
+        self.telemetry = ServingTelemetry()
+        self.cache = LRUCache(self.config.cache_capacity)
+        # Work items are (sample, model_tag, model): the model is resolved
+        # once at submit time, and the group key includes its generation tag,
+        # so a hot-swap or re-register mid-window never mixes models within a
+        # batch nor caches a result under the wrong model's key.
+        self._batcher = MicroBatcher(
+            self._run_batch,
+            policy=self.config.policy(),
+            group_key=lambda item: (item[0].input_length, item[1]),
+            on_batch=self.telemetry.record_batch,
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction conveniences
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_checkpoint(cls, prefix: str, network: RoadNetwork,
+                        config: Optional[ServeConfig] = None,
+                        model_config: Optional[RNTrajRecConfig] = None,
+                        name: str = "default") -> "RecoveryService":
+        """A service over a single saved bundle (see ``save_model_bundle``)."""
+        registry = ModelRegistry(network, default_config=model_config)
+        registry.register(name, prefix, activate=True)
+        registry.load(name)  # fail fast and warm the pinned structures
+        return cls(registry, config)
+
+    @classmethod
+    def from_model(cls, model: RNTrajRec, config: Optional[ServeConfig] = None,
+                   name: str = "default") -> "RecoveryService":
+        """A service over an in-memory model (tests, notebooks)."""
+        registry = ModelRegistry(model.network, default_config=model.config)
+        registry.add_loaded(name, model, activate=True)
+        return cls(registry, config)
+
+    # ------------------------------------------------------------------
+    # Request surface
+    # ------------------------------------------------------------------
+    def submit(self, request: RecoveryRequest) -> "Future[RecoveryResponse]":
+        """Asynchronously recover one request; never blocks on the model."""
+        if self._closed:
+            raise RuntimeError("RecoveryService is closed")
+        start = time.perf_counter()
+        outer: "Future[RecoveryResponse]" = Future()
+        outer.set_running_or_notify_cancel()
+
+        try:
+            raw = request.raw()  # cheap validation before keying the cache
+            if len(raw) < 2:
+                raise RequestError("a recovery request needs at least two GPS fixes")
+            model_name, model_tag, model = self.registry.active_ref()
+            # The key also folds in the derived ε_ρ grid length and the
+            # step each fix snaps to: two traces whose quantized times agree
+            # but that would decode on different grids or alignments (e.g.
+            # durations straddling a rounding boundary) must never collide.
+            grid_times, steps = grid_alignment(request.times, self.config.interval)
+            key = quantize_key(
+                request.xy, request.times,
+                xy_precision=self.config.xy_precision,
+                time_precision=self.config.time_precision,
+                extra=(model_tag, int(request.hour) % 24, bool(request.holiday),
+                       len(grid_times), steps.tobytes()),
+            )
+        except Exception as exc:
+            self.telemetry.record_error()
+            outer.set_exception(exc)
+            return outer
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            # Keys quantize times relative to the first fix (the model only
+            # sees relative times), so a time-shifted duplicate trace hits —
+            # rebase the cached grid onto this request's time origin.  The
+            # arrays are copied so callers mutating a response can never
+            # poison the cache entry.
+            shift = float(raw.times[0]) - float(cached.times[0])
+            trajectory = MatchedTrajectory(
+                cached.segments.copy(), cached.ratios.copy(), cached.times + shift)
+            latency = time.perf_counter() - start
+            self.telemetry.record_request(latency, cache_hit=True)
+            outer.set_result(RecoveryResponse(
+                request_id=request.request_id, trajectory=trajectory,
+                cached=True, latency_ms=1000.0 * latency, model=model_name,
+            ))
+            return outer
+
+        try:
+            sample = assemble_sample(request, self.registry.network,
+                                     self.config.ingest(),
+                                     alignment=(grid_times, steps))
+            # close() may race us past the _closed check at entry; the
+            # batcher's own refusal must fail the future, not submit().
+            inner = self._batcher.submit((sample, model_tag, model))
+        except Exception as exc:
+            self.telemetry.record_error()
+            outer.set_exception(exc)
+            return outer
+
+        def _complete(done: Future) -> None:
+            exc = done.exception()
+            if exc is not None:
+                self.telemetry.record_error()
+                outer.set_exception(exc)
+                return
+            trajectory: MatchedTrajectory = done.result()
+            latency = time.perf_counter() - start
+            self.cache.put(key, MatchedTrajectory(
+                trajectory.segments.copy(), trajectory.ratios.copy(),
+                trajectory.times.copy()))
+            self.telemetry.record_request(latency, cache_hit=False)
+            outer.set_result(RecoveryResponse(
+                request_id=request.request_id, trajectory=trajectory,
+                cached=False, latency_ms=1000.0 * latency, model=model_name,
+            ))
+
+        inner.add_done_callback(_complete)
+        return outer
+
+    def recover(self, request: RecoveryRequest,
+                timeout: Optional[float] = None) -> RecoveryResponse:
+        """Blocking single-request recovery."""
+        return self.submit(request).result(timeout=timeout)
+
+    def recover_many(self, requests: Sequence[RecoveryRequest],
+                     timeout: Optional[float] = None) -> List[RecoveryResponse]:
+        """Submit every request before waiting — the batching-friendly path."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result(timeout=timeout) for future in futures]
+
+    # ------------------------------------------------------------------
+    # Operations surface
+    # ------------------------------------------------------------------
+    def swap_model(self, name: str) -> None:
+        """Hot-swap the active model; in-flight batches finish on the old
+        one, new submissions (and cache keys) use the new one."""
+        self.registry.activate(name)
+
+    def stats(self) -> dict:
+        """Telemetry snapshot plus cache/scheduler/registry gauges."""
+        payload = self.telemetry.stats()
+        payload.update({
+            "cache_size": len(self.cache),
+            "cache_capacity": self.cache.capacity,
+            "pending": self._batcher.pending,
+            "active_model": self.registry.active_name,
+            "models": self.registry.names(),
+        })
+        return payload
+
+    def flush(self) -> None:
+        self._batcher.flush()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._batcher.close(drain=True)
+
+    def __enter__(self) -> "RecoveryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _run_batch(self, items: List[Tuple[RecoverySample, str, RNTrajRec]]
+                   ) -> List[MatchedTrajectory]:
+        """The scheduler's runner: one padded batched greedy decode.
+
+        All items share one group key, hence one (submit-time) model — so
+        in-flight requests finish on the model that was active when they
+        arrived, even across a hot-swap.
+        """
+        batch, lengths = make_padded_batch([sample for sample, _, _ in items])
+        model = items[0][2]
+        return model.recover_padded(batch, lengths)

@@ -1,0 +1,77 @@
+"""Serving telemetry: request, latency, cache and batching counters.
+
+Everything is in-process and lock-protected; :meth:`ServingTelemetry.stats`
+returns a plain dict so callers (CLI, HTTP endpoint, benchmarks) can dump
+it as JSON without further massaging.  Latencies live in a bounded
+reservoir — the newest ``reservoir`` observations — which keeps the p50/p95
+estimates fresh under sustained load without unbounded memory.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict
+
+
+class ServingTelemetry:
+    """Counters behind ``RecoveryService.stats()``."""
+
+    def __init__(self, reservoir: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._start = time.perf_counter()
+        self._latencies: Deque[float] = deque(maxlen=reservoir)
+        self.requests = 0
+        self.cache_hits = 0
+        self.errors = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_batch_occupancy = 0
+
+    # ------------------------------------------------------------------
+    def record_request(self, latency_seconds: float, cache_hit: bool) -> None:
+        with self._lock:
+            self.requests += 1
+            if cache_hit:
+                self.cache_hits += 1
+            self._latencies.append(latency_seconds)
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def record_batch(self, occupancy: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += occupancy
+            self.max_batch_occupancy = max(self.max_batch_occupancy, occupancy)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _percentile(sorted_values, fraction: float) -> float:
+        if not sorted_values:
+            return 0.0
+        index = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
+        return sorted_values[index]
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            elapsed = max(time.perf_counter() - self._start, 1e-9)
+            latencies = sorted(self._latencies)
+            mean_occupancy = self.batched_requests / self.batches if self.batches else 0.0
+            cache_hit_rate = self.cache_hits / self.requests if self.requests else 0.0
+            return {
+                "requests": self.requests,
+                "errors": self.errors,
+                "uptime_seconds": round(elapsed, 3),
+                "qps": round(self.requests / elapsed, 3),
+                "latency_ms_p50": round(1000.0 * self._percentile(latencies, 0.50), 3),
+                "latency_ms_p95": round(1000.0 * self._percentile(latencies, 0.95), 3),
+                "latency_ms_max": round(1000.0 * (latencies[-1] if latencies else 0.0), 3),
+                "cache_hits": self.cache_hits,
+                "cache_hit_rate": round(cache_hit_rate, 4),
+                "batches": self.batches,
+                "mean_batch_occupancy": round(mean_occupancy, 3),
+                "max_batch_occupancy": self.max_batch_occupancy,
+            }

@@ -7,6 +7,8 @@ from .dataset import (
     build_samples,
     iterate_batches,
     make_batch,
+    make_padded_batch,
+    pad_sample_target,
     train_val_test_split,
 )
 from .resample import (
@@ -26,6 +28,8 @@ __all__ = [
     "build_samples",
     "iterate_batches",
     "make_batch",
+    "make_padded_batch",
+    "pad_sample_target",
     "train_val_test_split",
     "downsample_indices",
     "downsample_matched",

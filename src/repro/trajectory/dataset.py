@@ -31,6 +31,24 @@ from .trajectory import MatchedTrajectory, RawTrajectory
 SparseMask = Optional[Tuple[np.ndarray, np.ndarray]]  # (segment ids, weights)
 
 
+def constraint_for_fix(network: RoadNetwork, x: float, y: float,
+                       beta: float, max_gps_error: float) -> Tuple[np.ndarray, np.ndarray]:
+    """The Eq. 16 sparse constraint entry for one observed GPS fix.
+
+    Shared by the offline dataset builder and the online serving ingest so
+    the two paths can never diverge: segments within ``max_gps_error``
+    meters weighted by ω(e, p) = exp(-d²/β²), falling back to the single
+    nearest segment when none are in range.
+    """
+    hits = network.segments_within(float(x), float(y), max_gps_error)
+    if not hits:
+        sid, dist, _ = network.nearest_segment(float(x), float(y))
+        hits = [(sid, dist)]
+    ids = np.array([sid for sid, _ in hits], dtype=np.int64)
+    weights = gaussian_weight(np.array([d for _, d in hits]), beta)
+    return ids, np.maximum(weights, 1e-8)
+
+
 @dataclass(frozen=True)
 class RecoverySample:
     """One training/evaluation example of the trajectory recovery task."""
@@ -91,13 +109,9 @@ def build_samples(
         constraints: List[SparseMask] = [None] * len(matched)
         for input_pos, target_step in enumerate(keep):
             x, y = low.xy[input_pos]
-            hits = network.segments_within(float(x), float(y), config.max_gps_error)
-            if not hits:
-                sid, dist, _ = network.nearest_segment(float(x), float(y))
-                hits = [(sid, dist)]
-            ids = np.array([sid for sid, _ in hits], dtype=np.int64)
-            weights = gaussian_weight(np.array([d for _, d in hits]), config.beta)
-            constraints[int(target_step)] = (ids, np.maximum(weights, 1e-8))
+            constraints[int(target_step)] = constraint_for_fix(
+                network, x, y, config.beta, config.max_gps_error
+            )
 
         samples.append(
             RecoverySample(
@@ -178,6 +192,54 @@ def make_batch(samples: Sequence[RecoverySample]) -> Batch:
         hours=np.asarray([s.hour for s in samples], dtype=np.int64),
         holidays=np.asarray([s.holiday for s in samples], dtype=bool),
     )
+
+
+def pad_sample_target(sample: RecoverySample, target_length: int) -> RecoverySample:
+    """Extend a sample's target grid to ``target_length`` with dummy steps.
+
+    Padded steps carry segment 0 / ratio 0, continue the ε_ρ time grid, and
+    are unconstrained (mask of all ones).  The serving layer uses this to
+    coalesce requests of different output lengths into one decoder call:
+    greedy decoding is stepwise-causal, so truncating the padded output at
+    each sample's true length reproduces the unpadded decode exactly.
+    """
+    current = sample.target_length
+    if target_length < current:
+        raise ValueError(f"cannot shrink target from {current} to {target_length}")
+    if target_length == current:
+        return sample
+    extra = target_length - current
+    interval = sample.target.interval or 1.0
+    times = np.concatenate(
+        [sample.target.times, sample.target.times[-1] + interval * np.arange(1, extra + 1)]
+    )
+    target = MatchedTrajectory(
+        np.concatenate([sample.target.segments, np.zeros(extra, dtype=np.int64)]),
+        np.concatenate([sample.target.ratios, np.zeros(extra)]),
+        times,
+    )
+    return RecoverySample(
+        raw_low=sample.raw_low,
+        target=target,
+        observed_steps=sample.observed_steps,
+        constraints=sample.constraints + (None,) * extra,
+        hour=sample.hour,
+        holiday=sample.holiday,
+    )
+
+
+def make_padded_batch(samples: Sequence[RecoverySample]) -> Tuple[Batch, List[int]]:
+    """Stack samples sharing one input length, padding targets to the max.
+
+    Returns the padded batch plus each sample's true target length (the
+    decode results must be truncated back with these).
+    """
+    input_lengths = {s.input_length for s in samples}
+    if len(input_lengths) != 1:
+        raise ValueError(f"cannot stack heterogeneous input lengths: {sorted(input_lengths)}")
+    lengths = [s.target_length for s in samples]
+    longest = max(lengths)
+    return make_batch([pad_sample_target(s, longest) for s in samples]), lengths
 
 
 def iterate_batches(

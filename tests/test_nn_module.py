@@ -118,3 +118,82 @@ class TestCheckpointFiles:
         nn.save_checkpoint(model, path)
         other = nn.load_checkpoint(Tiny(), path)
         assert np.allclose(other(x).data, expected)
+
+    def test_round_trip_without_npz_suffix(self, tmp_path):
+        """np.savez appends '.npz'; save/load must normalize consistently."""
+        model = Tiny()
+        prefix = str(tmp_path / "ckpt")  # no suffix
+        written = nn.save_checkpoint(model, prefix)
+        assert written == prefix + ".npz"
+        assert os.path.exists(written)
+
+        other = Tiny()
+        other.fc1.weight.data = other.fc1.weight.data + 1.0
+        nn.load_checkpoint(other, prefix)  # same suffix-less path round-trips
+        assert np.allclose(other.fc1.weight.data, model.fc1.weight.data)
+
+    def test_round_trip_with_pathlike(self, tmp_path):
+        model = Tiny()
+        nn.save_checkpoint(model, tmp_path / "ckpt")  # os.PathLike, no suffix
+        other = Tiny()
+        other.fc1.weight.data = other.fc1.weight.data + 1.0
+        nn.load_checkpoint(other, tmp_path / "ckpt")
+        assert np.allclose(other.fc1.weight.data, model.fc1.weight.data)
+
+    def test_round_trip_non_strict(self, tmp_path):
+        model = Tiny()
+        prefix = str(tmp_path / "ckpt")
+        nn.save_checkpoint(model, prefix)
+
+        class Extended(Tiny):
+            def __init__(self):
+                super().__init__()
+                self.extra = nn.Parameter(np.zeros(2), name="extra")
+
+        extended = Extended()
+        with pytest.raises(KeyError):
+            nn.load_checkpoint(Extended(), prefix)  # strict: missing 'extra'
+        nn.load_checkpoint(extended, prefix, strict=False)
+        assert np.allclose(extended.fc1.weight.data, model.fc1.weight.data)
+
+
+class TestBuffers:
+    def test_buffers_travel_with_state_dict(self):
+        norm = nn.BatchNorm(4)
+        norm.running_mean = norm.running_mean + 3.0
+        state = norm.state_dict()
+        assert "running_mean" in state and "running_var" in state
+        assert np.allclose(state["running_mean"], 3.0)
+
+        fresh = nn.BatchNorm(4)
+        fresh.load_state_dict(state)
+        assert np.allclose(fresh.running_mean, 3.0)
+
+    def test_batchnorm_stats_survive_checkpoint(self, tmp_path):
+        norm = nn.BatchNorm(2)
+        x = Tensor(np.random.default_rng(1).normal(2.0, 3.0, size=(64, 2)))
+        norm(x)  # training-mode forward moves the running statistics
+        norm.eval()
+        expected = norm(x).data
+
+        path = str(tmp_path / "norm")
+        nn.save_checkpoint(norm, path)
+        fresh = nn.load_checkpoint(nn.BatchNorm(2), path).eval()
+        assert np.allclose(fresh.running_mean, norm.running_mean)
+        assert np.allclose(fresh(x).data, expected)
+
+    def test_buffer_shape_mismatch_raises(self):
+        norm = nn.BatchNorm(4)
+        state = norm.state_dict()
+        state["running_mean"] = np.zeros(7)
+        with pytest.raises(ValueError):
+            norm.load_state_dict(state)
+
+    def test_params_only_checkpoint_loads_strict(self):
+        """Pre-buffer checkpoints (params only) must still load strictly."""
+        norm = nn.BatchNorm(4)
+        params_only = {name: param.data.copy()
+                       for name, param in norm.named_parameters()}
+        fresh = nn.BatchNorm(4)
+        fresh.load_state_dict(params_only, strict=True)  # no KeyError
+        assert np.allclose(fresh.running_mean, 0.0)  # buffers keep defaults

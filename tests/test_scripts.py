@@ -47,11 +47,18 @@ class TestPopulateCacheScript:
 class TestCacheFormat:
     def test_cached_results_shape(self):
         cache = REPO / "benchmarks" / "_cache"
-        files = list(cache.glob("*.json"))
-        if not files:
+        # Experiment rows only — the cache also holds standalone benchmark
+        # artifacts with their own schema.  Use the same key-based predicate
+        # as scripts/render_experiments.py's load_results().
+        rows = []
+        for path in cache.glob("*.json"):
+            with open(path) as handle:
+                payload = json.load(handle)
+            if "method" in payload and "dataset" in payload:
+                rows.append(payload)
+        if not rows:
             pytest.skip("benchmark cache not yet populated")
-        with open(files[0]) as handle:
-            row = json.load(handle)
+        row = rows[0]
         for key in ("dataset", "method", "metrics", "sr_at_k",
                     "inference_ms_per_trajectory", "num_parameters"):
             assert key in row

@@ -1,0 +1,460 @@
+"""Tests for the ``repro.serve`` online recovery subsystem."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import RNTrajRec, RNTrajRecConfig
+from repro.datasets import load_dataset
+from repro.serve import (
+    BatchPolicy,
+    LRUCache,
+    MicroBatcher,
+    ModelRegistry,
+    RecoveryRequest,
+    RecoveryService,
+    RequestError,
+    ServeConfig,
+    assemble_sample,
+    quantize_key,
+    save_model_bundle,
+)
+from repro.trajectory import make_batch, make_padded_batch, pad_sample_target
+
+
+# ---------------------------------------------------------------------------
+# Micro-batching scheduler (no model involved — generic over items)
+# ---------------------------------------------------------------------------
+class TestMicroBatcher:
+    def _batcher(self, max_batch_size=8, max_wait_ms=250.0, group_key=None,
+                 runner=None, sizes=None):
+        def default_runner(items):
+            return [item * 2 for item in items]
+
+        return MicroBatcher(
+            runner or default_runner,
+            policy=BatchPolicy(max_batch_size=max_batch_size, max_wait_ms=max_wait_ms),
+            group_key=group_key,
+            on_batch=(sizes.append if sizes is not None else None),
+        )
+
+    def test_requests_under_window_coalesce_into_one_batch(self):
+        sizes = []
+        batcher = self._batcher(max_batch_size=8, max_wait_ms=300.0, sizes=sizes)
+        futures = [batcher.submit(i) for i in range(3)]
+        results = [f.result(timeout=10.0) for f in futures]
+        batcher.close()
+        assert results == [0, 2, 4]
+        assert sizes == [3]  # one coalesced batch, dispatched at the window
+
+    def test_max_batch_size_enforced_over_window(self):
+        sizes = []
+        batcher = self._batcher(max_batch_size=4, max_wait_ms=400.0, sizes=sizes)
+        futures = [batcher.submit(i) for i in range(10)]
+        results = [f.result(timeout=10.0) for f in futures]
+        batcher.close()
+        assert results == [i * 2 for i in range(10)]
+        assert all(size <= 4 for size in sizes)
+        assert sizes[0] == 4  # a full batch dispatches before its window
+        assert sum(sizes) == 10
+
+    def test_single_request_dispatches_after_window(self):
+        sizes = []
+        batcher = self._batcher(max_batch_size=16, max_wait_ms=30.0, sizes=sizes)
+        start = time.monotonic()
+        assert batcher.submit(21).result(timeout=10.0) == 42
+        assert time.monotonic() - start >= 0.02  # waited for the window
+        batcher.close()
+        assert sizes == [1]
+
+    def test_groups_never_mix(self):
+        seen = []
+
+        def runner(items):
+            seen.append(list(items))
+            return items
+
+        batcher = self._batcher(max_batch_size=8, max_wait_ms=150.0,
+                                group_key=lambda item: item % 2, runner=runner)
+        futures = [batcher.submit(i) for i in range(8)]
+        for future in futures:
+            future.result(timeout=10.0)
+        batcher.close()
+        for batch in seen:
+            assert len({item % 2 for item in batch}) == 1
+
+    def test_flush_dispatches_immediately(self):
+        sizes = []
+        batcher = self._batcher(max_batch_size=16, max_wait_ms=10_000.0, sizes=sizes)
+        futures = [batcher.submit(i) for i in range(5)]
+        start = time.monotonic()
+        batcher.flush()
+        assert time.monotonic() - start < 5.0  # did not wait the 10s window
+        assert [f.result(timeout=1.0) for f in futures] == [0, 2, 4, 6, 8]
+        assert sizes == [5]
+        batcher.close()
+
+    def test_full_group_preempts_waiting_group(self):
+        """A group reaching max_batch_size dispatches immediately even while
+        an older, partial group is still inside its wait window."""
+        sizes = []
+        batcher = self._batcher(max_batch_size=4, max_wait_ms=10_000.0,
+                                group_key=lambda item: item % 2, sizes=sizes)
+        lone = batcher.submit(1)  # odd group anchors a 10s window
+        evens = [batcher.submit(i * 2) for i in range(4)]  # even group fills
+        results = [f.result(timeout=5.0) for f in evens]  # must not wait 10s
+        assert results == [0, 4, 8, 12]
+        assert sizes[0] == 4
+        batcher.close(drain=True)  # drains the lone odd request
+        assert lone.result(timeout=1.0) == 2
+
+    def test_flush_does_not_disable_coalescing(self):
+        sizes = []
+        batcher = self._batcher(max_batch_size=8, max_wait_ms=250.0, sizes=sizes)
+        first = [batcher.submit(i) for i in range(2)]
+        batcher.flush()
+        assert [f.result(timeout=1.0) for f in first] == [0, 2]
+        # Submissions after a flush must still coalesce into one batch.
+        second = [batcher.submit(i) for i in range(3)]
+        assert [f.result(timeout=10.0) for f in second] == [0, 2, 4]
+        batcher.close()
+        assert sizes == [2, 3]
+
+    def test_runner_errors_propagate_to_every_future(self):
+        def runner(items):
+            raise RuntimeError("boom")
+
+        batcher = self._batcher(max_wait_ms=20.0, runner=runner)
+        futures = [batcher.submit(i) for i in range(3)]
+        for future in futures:
+            with pytest.raises(RuntimeError, match="boom"):
+                future.result(timeout=10.0)
+        batcher.close()
+
+    def test_close_drains_pending(self):
+        batcher = self._batcher(max_batch_size=16, max_wait_ms=10_000.0)
+        futures = [batcher.submit(i) for i in range(4)]
+        batcher.close(drain=True)
+        assert [f.result(timeout=1.0) for f in futures] == [0, 2, 4, 6]
+        with pytest.raises(RuntimeError):
+            batcher.submit(1)
+
+    def test_concurrent_submitters_share_batches(self):
+        sizes = []
+        batcher = self._batcher(max_batch_size=32, max_wait_ms=200.0, sizes=sizes)
+
+        def submit_one(i, out):
+            out[i] = batcher.submit(i).result(timeout=10.0)
+
+        out = {}
+        threads = [threading.Thread(target=submit_one, args=(i, out)) for i in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        batcher.close()
+        assert out == {i: i * 2 for i in range(12)}
+        assert max(sizes) > 1  # concurrency actually coalesced
+
+
+# ---------------------------------------------------------------------------
+# LRU cache
+# ---------------------------------------------------------------------------
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh 'a'
+        cache.put("c", 3)           # evicts 'b'
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_hit_rate(self):
+        cache = LRUCache(capacity=4)
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        assert cache.get("missing") is None
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_quantized_keys_absorb_jitter(self):
+        xy = np.array([[100.0, 200.0], [150.0, 260.0]])
+        times = np.array([0.0, 96.0])
+        base = quantize_key(xy, times, xy_precision=0.5, time_precision=0.5)
+        jittered = quantize_key(xy + 0.1, times + 0.1, xy_precision=0.5,
+                                time_precision=0.5)
+        moved = quantize_key(xy + 5.0, times, xy_precision=0.5, time_precision=0.5)
+        assert base == jittered
+        assert base != moved
+
+    def test_key_folds_in_extra_context(self):
+        xy = np.zeros((2, 2))
+        times = np.array([0.0, 10.0])
+        assert quantize_key(xy, times, extra=("m1",)) != quantize_key(
+            xy, times, extra=("m2",))
+
+
+# ---------------------------------------------------------------------------
+# Model fixtures: a tiny untrained model (eval mode is deterministic)
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def data():
+    return load_dataset("chengdu", num_trajectories=40)
+
+
+@pytest.fixture(scope="module")
+def model(data):
+    config = RNTrajRecConfig(hidden_dim=16, num_heads=2, dropout=0.0,
+                             receptive_delta=300.0, max_subgraph_nodes=24)
+    return RNTrajRec(data.network, config).eval()
+
+
+def _request(sample, request_id=""):
+    return RecoveryRequest(sample.raw_low.xy, sample.raw_low.times,
+                           hour=sample.hour, holiday=sample.holiday,
+                           request_id=request_id)
+
+
+def _serve_config(data, **overrides):
+    defaults = dict(max_batch_size=8, max_wait_ms=60.0)
+    defaults.update(overrides)
+    return ServeConfig.for_dataset(data, **defaults)
+
+
+# ---------------------------------------------------------------------------
+# Raw-GPS ingestion
+# ---------------------------------------------------------------------------
+class TestAssembleSample:
+    def test_matches_offline_pipeline(self, data):
+        offline = data.test[0]
+        serving = assemble_sample(_request(offline), data.network,
+                                  _serve_config(data).ingest())
+        assert serving.target_length == offline.target_length
+        assert np.array_equal(serving.observed_steps, offline.observed_steps)
+        assert np.array_equal(serving.target.times, offline.target.times)
+        num_segments = data.network.num_segments
+        assert np.allclose(serving.constraint_matrix(num_segments),
+                           offline.constraint_matrix(num_segments))
+
+    def test_rejects_degenerate_requests(self, data):
+        config = _serve_config(data).ingest()
+        with pytest.raises(RequestError):
+            assemble_sample(RecoveryRequest(np.zeros((1, 2)), np.zeros(1)),
+                            data.network, config)
+        with pytest.raises(RequestError):  # two fixes inside one ε_ρ step
+            assemble_sample(
+                RecoveryRequest(np.zeros((2, 2)), np.array([0.0, 0.001])),
+                data.network, config)
+        with pytest.raises(RequestError):  # JSON can smuggle NaN through
+            assemble_sample(
+                RecoveryRequest(np.array([[np.nan, 0.0], [100.0, 100.0]]),
+                                np.array([0.0, 96.0])),
+                data.network, config)
+
+
+# ---------------------------------------------------------------------------
+# Padded batching and the serving recover path
+# ---------------------------------------------------------------------------
+class TestPaddedRecovery:
+    def test_pad_sample_target_extends_grid(self, data):
+        sample = data.test[0]
+        padded = pad_sample_target(sample, sample.target_length + 3)
+        assert padded.target_length == sample.target_length + 3
+        assert padded.constraints[-1] is None
+        interval = sample.target.interval
+        assert np.allclose(np.diff(padded.target.times), interval)
+        with pytest.raises(ValueError):
+            pad_sample_target(sample, sample.target_length - 1)
+
+    def test_recover_padded_equals_per_request(self, data, model):
+        # Two samples with equal input lengths but different target lengths
+        # (one native, one on a longer ε_ρ grid) cannot stack directly ...
+        short_sample = data.test[0]
+        long_sample = pad_sample_target(data.test[1],
+                                        short_sample.target_length + 3)
+        with pytest.raises(ValueError):
+            make_batch([short_sample, long_sample])
+
+        # ... but the padded path coalesces them into one decode whose
+        # truncated outputs match per-request recovery exactly.
+        batch, lengths = make_padded_batch([short_sample, long_sample])
+        assert lengths == [short_sample.target_length, long_sample.target_length]
+        batched = model.recover_padded(batch, lengths)
+
+        for sample, result in zip([short_sample, long_sample], batched):
+            direct = model.recover_trajectories(make_batch([sample]))[0]
+            assert np.array_equal(direct.segments, result.segments)
+            assert np.allclose(direct.ratios, result.ratios)
+
+    def test_recover_padded_validates_lengths(self, data, model):
+        batch, lengths = make_padded_batch(data.test[:2])
+        with pytest.raises(ValueError):
+            model.recover_padded(batch, lengths[:1])
+
+
+# ---------------------------------------------------------------------------
+# RecoveryService end to end
+# ---------------------------------------------------------------------------
+class TestRecoveryService:
+    def test_batched_results_equal_per_request_recover(self, data, model):
+        service = RecoveryService.from_model(model, _serve_config(data))
+        samples = (data.test + data.val)[:6]
+        responses = service.recover_many(
+            [_request(s, f"r{i}") for i, s in enumerate(samples)], timeout=120.0)
+        stats = service.stats()
+        service.close()
+
+        assert stats["max_batch_occupancy"] > 1  # requests were coalesced
+        for sample, response in zip(samples, responses):
+            direct = model.recover_trajectories(make_batch([sample]))[0]
+            assert np.array_equal(direct.segments, response.trajectory.segments)
+            assert np.allclose(direct.ratios, response.trajectory.ratios)
+            assert np.array_equal(direct.times, response.trajectory.times)
+
+    def test_cache_hit_on_resubmission(self, data, model):
+        service = RecoveryService.from_model(
+            model, _serve_config(data, max_wait_ms=5.0))
+        request = _request(data.test[0], "first")
+        first = service.recover(request, timeout=120.0)
+        second = service.recover(request, timeout=120.0)
+        stats = service.stats()
+        service.close()
+
+        assert not first.cached
+        assert second.cached
+        assert np.array_equal(first.trajectory.segments, second.trajectory.segments)
+        assert stats["cache_hits"] == 1
+        assert stats["requests"] == 2
+
+    def test_time_shifted_duplicate_hits_cache_with_rebased_times(self, data, model):
+        service = RecoveryService.from_model(
+            model, _serve_config(data, max_wait_ms=5.0))
+        sample = data.test[0]
+        original = service.recover(_request(sample, "t0"), timeout=120.0)
+        shifted = service.recover(RecoveryRequest(
+            sample.raw_low.xy, sample.raw_low.times + 3600.0,
+            hour=sample.hour, holiday=sample.holiday, request_id="t1"), timeout=120.0)
+        service.close()
+
+        assert shifted.cached  # same geometry, relative times → cache hit
+        assert np.array_equal(original.trajectory.segments,
+                              shifted.trajectory.segments)
+        # ... but the grid is rebased onto the new request's time origin.
+        assert np.allclose(shifted.trajectory.times,
+                           original.trajectory.times + 3600.0)
+
+    def test_bad_request_fails_future_and_counts_error(self, data, model):
+        service = RecoveryService.from_model(
+            model, _serve_config(data, max_wait_ms=5.0))
+        futures = [
+            service.submit(RecoveryRequest(np.zeros((1, 2)), np.zeros(1))),
+            service.submit(RecoveryRequest(np.zeros((0, 2)), np.zeros(0))),
+        ]
+        for future in futures:  # async contract: errors fail the future
+            with pytest.raises(RequestError):
+                future.result(timeout=10.0)
+        assert service.stats()["errors"] == 2
+        service.close()
+
+    def test_stats_shape(self, data, model):
+        service = RecoveryService.from_model(model, _serve_config(data))
+        stats = service.stats()
+        service.close()
+        for key in ("requests", "qps", "latency_ms_p50", "latency_ms_p95",
+                    "cache_hit_rate", "mean_batch_occupancy",
+                    "max_batch_occupancy", "active_model", "pending"):
+            assert key in stats
+
+
+# ---------------------------------------------------------------------------
+# Model registry: bundles, hot-swap, pinned structures
+# ---------------------------------------------------------------------------
+class TestModelRegistry:
+    def test_bundle_round_trip_reproduces_outputs(self, data, model, tmp_path):
+        prefix = str(tmp_path / "bundle")
+        save_model_bundle(model, prefix)
+        registry = ModelRegistry(data.network)
+        registry.register("v1", prefix, activate=True)
+        loaded = registry.load("v1")
+
+        assert loaded.config == model.config  # sidecar restored the config
+        batch = make_batch(data.test[:2])
+        expected_segments, expected_rates = model.recover(batch)
+        got_segments, got_rates = loaded.recover(batch)
+        assert np.array_equal(expected_segments, got_segments)
+        assert np.allclose(expected_rates, got_rates)
+
+    def test_pinned_structures_shared_across_models(self, data, model, tmp_path):
+        save_model_bundle(model, str(tmp_path / "a"))
+        save_model_bundle(model, str(tmp_path / "b"))
+        registry = ModelRegistry(data.network)
+        registry.register("a", str(tmp_path / "a"))
+        registry.register("b", str(tmp_path / "b"))
+        model_a, model_b = registry.load("a"), registry.load("b")
+        assert model_a.network is model_b.network
+        assert model_a.encoder.grid is model_b.encoder.grid
+        assert model_a.reachability is model_b.reachability
+
+    def test_hot_swap_switches_active_model(self, data, model, tmp_path):
+        save_model_bundle(model, str(tmp_path / "v1"))
+        registry = ModelRegistry(data.network)
+        registry.register("v1", str(tmp_path / "v1"), activate=True)
+        service = RecoveryService(registry, _serve_config(data, max_wait_ms=5.0))
+
+        request = _request(data.test[0], "swap-check")
+        first = service.recover(request, timeout=120.0)
+        assert first.model == "v1"
+
+        other = RNTrajRec(data.network, model.config).eval()
+        registry.add_loaded("v2", other)
+        service.swap_model("v2")
+        second = service.recover(request, timeout=120.0)
+        service.close()
+
+        assert second.model == "v2"
+        assert not second.cached  # cache keys include the model name
+        assert registry.active_name == "v2"
+
+    def test_in_flight_requests_finish_on_submit_time_model(self, data, model):
+        registry = ModelRegistry(data.network)
+        registry.add_loaded("v1", model, activate=True)
+        service = RecoveryService(registry, _serve_config(data, max_wait_ms=500.0))
+
+        # Submit while v1 is active, then hot-swap inside the wait window.
+        future = service.submit(_request(data.test[0], "inflight"))
+        registry.add_loaded("v2", RNTrajRec(data.network, model.config).eval())
+        service.swap_model("v2")
+        response = future.result(timeout=120.0)
+        service.close()
+
+        assert response.model == "v1"
+        direct = model.recover_trajectories(make_batch([data.test[0]]))[0]
+        assert np.array_equal(direct.segments, response.trajectory.segments)
+
+    def test_reregistering_a_name_invalidates_cached_results(self, data, model):
+        registry = ModelRegistry(data.network)
+        registry.add_loaded("default", model, activate=True)
+        service = RecoveryService(registry, _serve_config(data, max_wait_ms=5.0))
+
+        request = _request(data.test[0], "regen")
+        first = service.recover(request, timeout=120.0)
+        # Hot-reload an updated model under the *same* name.
+        retrained = RNTrajRec(data.network, model.config).eval()
+        registry.add_loaded("default", retrained, activate=True)
+        second = service.recover(request, timeout=120.0)
+        service.close()
+
+        assert not first.cached
+        assert not second.cached  # generation tag invalidated the old entry
+        direct = retrained.recover_trajectories(make_batch([data.test[0]]))[0]
+        assert np.array_equal(direct.segments, second.trajectory.segments)
+
+    def test_unknown_model_raises(self, data):
+        registry = ModelRegistry(data.network)
+        with pytest.raises(KeyError):
+            registry.load("nope")

@@ -1,0 +1,86 @@
+"""Validate intra-repo markdown links (run by the CI docs job).
+
+Scans every tracked ``*.md`` file for inline links/images and checks that
+relative targets resolve to an existing file or directory.  External
+schemes (http/https/mailto) and pure in-page anchors are skipped;
+``path#anchor`` links are checked for the path part, and the anchor is
+verified against the target's headings when the target is markdown.
+
+    python scripts/check_docs.py [root]
+
+Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {".git", "__pycache__", "_cache", "node_modules", ".pytest_cache"}
+
+
+def heading_anchors(markdown: str) -> set:
+    """GitHub-style anchor slugs of every heading in a markdown document."""
+    anchors = set()
+    for line in markdown.splitlines():
+        match = re.match(r"#{1,6}\s+(.*)", line)
+        if not match:
+            continue
+        slug = match.group(1).strip().lower()
+        slug = re.sub(r"[`*_]", "", slug)
+        slug = re.sub(r"[^\w\- ]", "", slug)
+        anchors.add(slug.replace(" ", "-"))
+    return anchors
+
+
+def markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def check_file(path: Path, root: Path) -> list:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for target in LINK_PATTERN.findall(text):
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        if target.startswith("#"):  # in-page anchor
+            if target[1:] not in heading_anchors(text):
+                problems.append(f"{path.relative_to(root)}: broken anchor {target!r}")
+            continue
+        raw_path, _, anchor = target.partition("#")
+        resolved = (path.parent / raw_path).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(root)}: missing target {target!r}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            anchors = heading_anchors(resolved.read_text(encoding="utf-8"))
+            if anchor not in anchors:
+                problems.append(
+                    f"{path.relative_to(root)}: missing anchor {target!r}")
+    return problems
+
+
+def main() -> int:
+    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else (
+        Path(__file__).resolve().parent.parent)
+    problems = []
+    count = 0
+    for path in markdown_files(root):
+        count += 1
+        problems.extend(check_file(path, root))
+    if problems:
+        print(f"checked {count} markdown files — {len(problems)} broken link(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"checked {count} markdown files — all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,11 @@ Three subcommands:
                  PYTHONPATH=src python scripts/serve.py http \
                      --dataset chengdu --bundle runs/chengdu_model --port 8008
 
+             With ``--bundle`` the server starts on the light path: only
+             the road network and dataset spec are rebuilt (via
+             ``get_spec``/``generate_city``) — no trajectory simulation or
+             sample building.
+
              Endpoints: ``POST /recover`` with a JSON body
              ``{"points": [[x, y], ...], "times": [...], "hour": 12,
              "holiday": false}``; ``GET /stats``; ``GET /healthz``.
@@ -42,8 +47,9 @@ if str(REPO / "src") not in sys.path:
     sys.path.insert(0, str(REPO / "src"))
 
 from repro.core import RNTrajRec, Trainer  # noqa: E402
-from repro.datasets import load_dataset  # noqa: E402
+from repro.datasets import get_spec, load_dataset  # noqa: E402
 from repro.experiments import quick_train_config, small_model_config  # noqa: E402
+from repro.roadnet import generate_city  # noqa: E402
 from repro.serve import (  # noqa: E402
     RecoveryRequest,
     RecoveryService,
@@ -64,23 +70,36 @@ def train_bundle(args) -> str:
     return args.out
 
 
-def build_service(args) -> tuple:
-    """(service, loaded dataset) for the oneshot/http subcommands."""
-    data = load_dataset(args.dataset, num_trajectories=args.trajectories)
-    serve_config = ServeConfig.for_dataset(
-        data,
+def build_service(args, need_samples: bool = True) -> tuple:
+    """(service, loaded dataset or None) for the oneshot/http subcommands.
+
+    With a ``--bundle`` and ``need_samples=False`` (the ``http`` server)
+    this takes the light path: only the road network and the dataset spec
+    are reconstructed — no trajectory simulation, map matching or sample
+    building — which cuts server start time to the city-generation cost.
+    """
+    common = dict(
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
         cache_capacity=args.cache_capacity,
     )
-    bundle = args.bundle
-    if bundle is None:
+    if args.bundle is not None and not need_samples:
+        spec = get_spec(args.dataset)
+        network = generate_city(spec.city)  # deterministic: matches `train`
+        serve_config = ServeConfig.for_spec(spec, **common)
+        print(f"Light startup: network + spec only ({network.num_segments} "
+              "segments, no dataset materialization)")
+        return RecoveryService.from_checkpoint(args.bundle, network, serve_config), None
+
+    data = load_dataset(args.dataset, num_trajectories=args.trajectories)
+    serve_config = ServeConfig.for_dataset(data, **common)
+    if args.bundle is None:
         print("No --bundle given; training a quick model in-process ...")
         model = RNTrajRec(data.network, small_model_config(args.hidden))
         Trainer(model, quick_train_config(args.epochs)).fit(data.train)
         model.eval()
         return RecoveryService.from_model(model, serve_config), data
-    return RecoveryService.from_checkpoint(bundle, data.network, serve_config), data
+    return RecoveryService.from_checkpoint(args.bundle, data.network, serve_config), data
 
 
 def run_oneshot(args) -> None:
@@ -171,7 +190,7 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 def run_http(args) -> None:
-    service, _ = build_service(args)
+    service, _ = build_service(args, need_samples=False)
     _Handler.service = service
     server = ThreadingHTTPServer((args.host, args.port), _Handler)
     print(f"Serving recovery API on http://{args.host}:{args.port} "

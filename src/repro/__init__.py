@@ -32,6 +32,6 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import geo, nn
+from . import geo, nn, profile
 
-__all__ = ["geo", "nn", "__version__"]
+__all__ = ["geo", "nn", "profile", "__version__"]

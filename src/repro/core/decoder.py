@@ -24,11 +24,20 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from .. import nn
+from .. import nn, profile
 from ..nn import functional as F
-from ..nn.tensor import Tensor, gather_rows
+from ..nn.graph import csr_from_lists, ragged_positions, sorted_lookup
+from ..nn.tensor import Tensor, no_grad
 from ..trajectory.dataset import Batch
 from .config import RNTrajRecConfig
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    """Raw-array twin of :meth:`repro.nn.tensor.Tensor.sigmoid` — same
+    clipping and branch structure, so values are bit-identical."""
+    clipped = np.clip(x, -60.0, 60.0)
+    exp_neg = np.exp(-np.abs(clipped))
+    return np.where(clipped >= 0, 1.0 / (1.0 + exp_neg), exp_neg / (1.0 + exp_neg))
 
 
 @dataclass
@@ -63,17 +72,38 @@ class RecoveryDecoder(nn.Module):
         state: Tensor,
         encoder_outputs: Tensor,
         mask_row: Optional[np.ndarray],
+        projected_keys: Optional[Tensor] = None,
     ) -> Tuple[Tensor, Tensor, Tensor]:
-        """One decode step; returns (log_probs, new_state, context)."""
-        context = self.attention(state, encoder_outputs)
-        gru_input = nn.concat([prev_embed, prev_rate, context], axis=-1)
-        state = self.gru(gru_input, state)
-        logits = self.segment_head(state)
+        """One decode step; returns (log_probs, new_state, context).
+
+        ``projected_keys`` optionally carries the attention's W_h·enc
+        projection, which is constant across steps — decode loops compute
+        it once instead of per step.
+        """
+        logits, state, context = self._step_logits(
+            prev_embed, prev_rate, state, encoder_outputs, projected_keys
+        )
         if mask_row is not None:
             log_probs = F.masked_log_softmax(logits, mask_row, axis=-1)
         else:
             log_probs = F.log_softmax(logits, axis=-1)
         return log_probs, state, context
+
+    def _step_logits(
+        self,
+        prev_embed: Tensor,
+        prev_rate: Tensor,
+        state: Tensor,
+        encoder_outputs: Tensor,
+        projected_keys: Optional[Tensor] = None,
+    ) -> Tuple[Tensor, Tensor, Tensor]:
+        """Attention + GRU + segment head, without the softmax normalization
+        (greedy decoding only needs the argmax, and log-softmax is a
+        monotone per-row shift — see :meth:`decode_greedy`)."""
+        context = self.attention(state, encoder_outputs, projected_keys=projected_keys)
+        gru_input = nn.concat([prev_embed, prev_rate, context], axis=-1)
+        state = self.gru(gru_input, state)
+        return self.segment_head(state), state, context
 
     def _rate(self, segment_embed: Tensor, state: Tensor) -> Tensor:
         """Eq. 17 head: sigmoid of a bilinear score."""
@@ -102,12 +132,14 @@ class RecoveryDecoder(nn.Module):
         state = initial_state
         prev_embed = self.start_embedding.reshape(1, -1) * Tensor(np.ones((b, 1)))
         prev_rate = Tensor(np.zeros((b, 1)))
+        projected_keys = self.attention.project_keys(encoder_outputs)
 
         log_prob_steps: List[Tensor] = []
         rate_steps: List[Tensor] = []
         for j in range(l_rho):
             log_probs, state, _ = self._step(
-                prev_embed, prev_rate, state, encoder_outputs, constraint[:, j, :]
+                prev_embed, prev_rate, state, encoder_outputs, constraint[:, j, :],
+                projected_keys=projected_keys,
             )
             log_prob_steps.append(log_probs)
             true_embed = self.segment_embedding(batch.target_segments[:, j])
@@ -143,27 +175,71 @@ class RecoveryDecoder(nn.Module):
         segments reachable from the previous prediction within one ε_ρ
         interval (k-hop neighborhood).  Observed timestamps always keep the
         paper's distance-based constraint mask.
-        """
-        b = encoder_outputs.shape[0]
-        state = initial_state
-        prev_embed = self.start_embedding.reshape(1, -1) * Tensor(np.ones((b, 1)))
-        prev_rate = Tensor(np.zeros((b, 1)))
 
-        segments = np.zeros((b, target_length), dtype=np.int64)
-        rates = np.zeros((b, target_length))
-        for j in range(target_length):
-            mask_row = constraint[:, j, :].copy() if constraint is not None else None
-            if reachability is not None and j > 0:
-                mask_row = reachability.combine(mask_row, segments[:, j - 1], self.num_segments)
-            log_probs, state, _ = self._step(prev_embed, prev_rate, state, encoder_outputs, mask_row)
-            predicted = np.argmax(log_probs.data, axis=-1)
-            segments[:, j] = predicted
-            pred_embed = self.segment_embedding(predicted)
-            rate = self._rate(pred_embed, state)
-            rates[:, j] = np.clip(rate.data.reshape(b), 0.0, 1.0 - 1e-9)
-            prev_embed = pred_embed
-            prev_rate = Tensor(rates[:, j][:, None])
-        return segments, rates
+        The step recurrence is inherently sequential, but inference needs
+        neither gradients nor normalized probabilities, so the loop runs as
+        a raw-numpy kernel: the attention key projection is hoisted out of
+        the loop, each step replays the exact floating-point operations of
+        :meth:`_step_logits` on plain arrays (bit-identical outputs,
+        asserted by ``tests/test_vectorized_equivalence.py``), and greedy
+        selection uses ``argmax(logits + log mask)`` — the log-softmax
+        normalizer is a constant per row and cannot change the argmax.
+        """
+        with profile.section("decode.greedy"):
+            attention, gru = self.attention, self.gru
+            w_g, v = attention.w_g.weight.data, attention.v.data
+            w_z, b_z = gru.w_z.data, gru.b_z.data
+            w_r, b_r = gru.w_r.data, gru.b_r.data
+            w_c, b_c = gru.w_c.data, gru.b_c.data
+            head = self.segment_head.weight.data
+            rate_w = self.rate_head.weight.data
+            rate_b = self.rate_head.bias.data
+            embed_table = self.segment_embedding.weight.data
+
+            enc = encoder_outputs.data
+            b, length = enc.shape[0], enc.shape[1]
+            keys = enc @ attention.w_h.weight.data  # W_h·enc, constant per decode
+            state = initial_state.data
+            prev_embed = self.start_embedding.data.reshape(1, -1) * np.ones((b, 1))
+            prev_rate = np.zeros((b, 1))
+
+            segments = np.zeros((b, target_length), dtype=np.int64)
+            rates = np.zeros((b, target_length))
+            for j in range(target_length):
+                # No step mutates the mask, so a view (not a copy) is safe.
+                mask_row = constraint[:, j, :] if constraint is not None else None
+                if reachability is not None and j > 0:
+                    mask_row = reachability.combine(mask_row, segments[:, j - 1],
+                                                    self.num_segments)
+                # Additive attention (Eq. 14), mirroring AdditiveAttention.
+                energy = np.tanh((state @ w_g).reshape(b, 1, -1) + keys) @ v
+                scores = energy.reshape(b, length)
+                shifted = scores - scores.max(axis=-1, keepdims=True)
+                exp = np.exp(shifted)
+                weights = exp / exp.sum(axis=-1, keepdims=True)
+                context = (weights.reshape(b, 1, -1) @ enc).reshape(b, -1)
+                # GRU cell (Eq. 15), mirroring nn.GRUCell.forward.
+                x = np.concatenate([prev_embed, prev_rate, context], axis=-1)
+                hx = np.concatenate([state, x], axis=-1)
+                z = _sigmoid(hx @ w_z + b_z)
+                r = _sigmoid(hx @ w_r + b_r)
+                rhx = np.concatenate([r * state, x], axis=-1)
+                c = np.tanh(rhx @ w_c + b_c)
+                state = (1.0 - z) * state + z * c
+                # Segment head + Eq. 16 mask, argmax only.
+                logits = state @ head
+                if mask_row is not None:
+                    logits = logits + np.log(np.maximum(mask_row, 1e-12))
+                predicted = np.argmax(logits, axis=-1)
+                segments[:, j] = predicted
+                # Rate head (Eq. 17), mirroring _rate.
+                prev_embed = embed_table[predicted]
+                rate = _sigmoid(
+                    np.concatenate([prev_embed, state], axis=-1) @ rate_w + rate_b
+                )
+                rates[:, j] = np.clip(rate.reshape(b), 0.0, 1.0 - 1e-9)
+                prev_rate = rates[:, j][:, None]
+            return segments, rates
 
 
     # ------------------------------------------------------------------
@@ -178,59 +254,75 @@ class RecoveryDecoder(nn.Module):
         """Beam-search decoding (extension; the paper decodes greedily).
 
         Tracks ``beam_width`` hypotheses per trajectory, scoring by summed
-        masked log-probabilities.  Decodes each batch element independently
-        (beam state bookkeeping dominates, so the loop is per-sample); the
-        rate head runs once along the winning hypothesis.
+        masked log-probabilities.  All live hypotheses of one trajectory are
+        stacked into the *batch axis* of a single :meth:`_step` call, and
+        expansion is one top-k over the flattened (beams × |V|) score matrix
+        — no per-beam Python candidate lists.  Selecting the global top
+        ``beam_width`` of that matrix is equivalent to the classic
+        per-beam-top-k-then-merge: a candidate outside its own beam's top
+        ``beam_width`` is outranked by ``beam_width`` siblings and can never
+        make the global cut.  The rate head runs once along the winning
+        hypothesis.
         """
-        batch_size = encoder_outputs.shape[0]
-        segments = np.zeros((batch_size, target_length), dtype=np.int64)
-        rates = np.zeros((batch_size, target_length))
+        with no_grad(), profile.section("decode.beam"):
+            batch_size = encoder_outputs.shape[0]
+            num_segments = self.num_segments
+            segments = np.zeros((batch_size, target_length), dtype=np.int64)
+            rates = np.zeros((batch_size, target_length))
+            enc_data = encoder_outputs.data
+            keys_data = self.attention.project_keys(encoder_outputs).data
 
-        for i in range(batch_size):
-            enc_i = encoder_outputs[i : i + 1]
-            # Each hypothesis: (score, segment list, state, prev_embed, prev_rate)
-            beams = [(
-                0.0,
-                [],
-                initial_state[i : i + 1],
-                self.start_embedding.reshape(1, -1),
-                Tensor(np.zeros((1, 1))),
-            )]
-            for j in range(target_length):
-                mask_row = constraint[i : i + 1, j, :] if constraint is not None else None
-                candidates = []
-                for score, history, state, prev_embed, prev_rate in beams:
+            for i in range(batch_size):
+                scores = np.zeros(1)
+                histories = np.zeros((1, 0), dtype=np.int64)
+                state = initial_state[i : i + 1]
+                prev_embed = self.start_embedding.reshape(1, -1)
+                prev_rate = Tensor(np.zeros((1, 1)))
+                for j in range(target_length):
+                    k = len(scores)
+                    enc_k = Tensor(np.broadcast_to(enc_data[i], (k,) + enc_data[i].shape))
+                    keys_k = Tensor(np.broadcast_to(keys_data[i], (k,) + keys_data[i].shape))
+                    mask_row = None
+                    if constraint is not None:
+                        mask_row = np.broadcast_to(constraint[i, j, :], (k, num_segments))
                     log_probs, new_state, _ = self._step(
-                        prev_embed, prev_rate, state, enc_i, mask_row
+                        prev_embed, prev_rate, state, enc_k, mask_row,
+                        projected_keys=keys_k,
                     )
-                    flat = log_probs.data.reshape(-1)
-                    top = np.argpartition(-flat, min(beam_width, len(flat) - 1))[:beam_width]
-                    for sid in top:
-                        candidates.append((score + float(flat[sid]), history + [int(sid)],
-                                           new_state, int(sid)))
-                candidates.sort(key=lambda c: -c[0])
-                beams = []
-                for score, history, state, sid in candidates[:beam_width]:
-                    embed = self.segment_embedding(np.array([sid]))
-                    rate = self._rate(embed, state)
-                    beams.append((score, history, state, embed,
-                                  Tensor(np.clip(rate.data, 0.0, 1.0 - 1e-9))))
-            best = max(beams, key=lambda b: b[0])
-            segments[i] = best[1]
-            # Re-run the rate head along the winning path for per-step rates.
-            state = initial_state[i : i + 1]
-            prev_embed = self.start_embedding.reshape(1, -1)
-            prev_rate = Tensor(np.zeros((1, 1)))
-            for j in range(target_length):
-                _, state, _ = self._step(
-                    prev_embed, prev_rate, state, enc_i,
-                    constraint[i : i + 1, j, :] if constraint is not None else None,
-                )
-                prev_embed = self.segment_embedding(np.array([segments[i, j]]))
-                rate = self._rate(prev_embed, state)
-                rates[i, j] = float(np.clip(rate.data.reshape(-1)[0], 0.0, 1.0 - 1e-9))
-                prev_rate = Tensor(np.full((1, 1), rates[i, j]))
-        return segments, rates
+                    flat = (scores[:, None] + log_probs.data).reshape(-1)
+                    if flat.size > beam_width:
+                        top = np.argpartition(-flat, beam_width - 1)[:beam_width]
+                    else:
+                        top = np.arange(flat.size)
+                    # Deterministic ranking: score descending, index tiebreak.
+                    top = top[np.lexsort((top, -flat[top]))]
+                    beam_idx, sids = top // num_segments, top % num_segments
+                    scores = flat[top]
+                    histories = np.concatenate(
+                        [histories[beam_idx], sids[:, None]], axis=1
+                    )
+                    state = Tensor(new_state.data[beam_idx])
+                    prev_embed = self.segment_embedding(sids)
+                    rate = self._rate(prev_embed, state)
+                    prev_rate = Tensor(np.clip(rate.data.reshape(-1, 1), 0.0, 1.0 - 1e-9))
+                segments[i] = histories[int(np.argmax(scores))]
+                # Re-run the rate head along the winning path for per-step rates.
+                enc_i = encoder_outputs[i : i + 1]
+                keys_i = Tensor(keys_data[i : i + 1])
+                state = initial_state[i : i + 1]
+                prev_embed = self.start_embedding.reshape(1, -1)
+                prev_rate = Tensor(np.zeros((1, 1)))
+                for j in range(target_length):
+                    # Only the recurrent state matters here (the path is
+                    # fixed), so skip the softmax entirely.
+                    _, state, _ = self._step_logits(
+                        prev_embed, prev_rate, state, enc_i, projected_keys=keys_i,
+                    )
+                    prev_embed = self.segment_embedding(segments[i, j : j + 1])
+                    rate = self._rate(prev_embed, state)
+                    rates[i, j] = float(np.clip(rate.data.reshape(-1)[0], 0.0, 1.0 - 1e-9))
+                    prev_rate = Tensor(np.full((1, 1), rates[i, j]))
+            return segments, rates
 
 
 def interpolation_prior(batch: Batch, network, scale: float, floor: float) -> np.ndarray:
@@ -242,29 +334,41 @@ def interpolation_prior(batch: Batch, network, scale: float, floor: float) -> np
     Combining this prior with the learned logits at decode time is a
     Bayesian product of experts: the uniform-speed prior anchors positions
     while the model disambiguates direction, route and timing.
+
+    Steps that interpolate to the same position (clamped tails past the
+    last fix, padded serving grids, stationary spans — deduplicated across
+    the *whole batch*, not just consecutive steps) share one R-tree query,
+    and each query's hits scatter into the prior in one fancy-indexed
+    assignment rather than a per-hit Python loop.
     """
-    b, l_rho = batch.target_segments.shape
-    num_segments = network.num_segments
-    prior = np.full((b, l_rho, num_segments), floor)
-    radius = 3.0 * scale
-    for i, sample in enumerate(batch.samples):
-        low = sample.raw_low
-        xs = np.interp(batch.target_times[i], low.times, low.xy[:, 0])
-        ys = np.interp(batch.target_times[i], low.times, low.xy[:, 1])
-        # Consecutive steps that interpolate to the same position (clamped
-        # tails past the last fix, padded serving grids, stationary spans)
-        # share one R-tree query and prior row.
-        prev_xy = None
-        for j in range(l_rho):
-            xy = (float(xs[j]), float(ys[j]))
-            if xy == prev_xy:
-                prior[i, j] = prior[i, j - 1]
+    with profile.section("decode.prior"):
+        b, l_rho = batch.target_segments.shape
+        num_segments = network.num_segments
+        prior = np.full((b * l_rho, num_segments), floor)
+        radius = 3.0 * scale
+
+        positions = np.empty((b, l_rho, 2))
+        for i, sample in enumerate(batch.samples):
+            low = sample.raw_low
+            positions[i, :, 0] = np.interp(batch.target_times[i], low.times, low.xy[:, 0])
+            positions[i, :, 1] = np.interp(batch.target_times[i], low.times, low.xy[:, 1])
+
+        flat = positions.reshape(-1, 2)
+        _, first, inverse = np.unique(flat, axis=0, return_index=True,
+                                      return_inverse=True)
+        inverse = inverse.reshape(-1)
+        # Rows of ``prior`` grouped by their distinct interpolated position.
+        order = np.argsort(inverse, kind="stable")
+        boundaries = np.searchsorted(inverse[order], np.arange(len(first) + 1))
+        for u, representative in enumerate(first):
+            x, y = flat[representative]
+            ids, dists = network.segments_within_arrays(float(x), float(y), radius)
+            if not len(ids):
                 continue
-            hits = network.segments_within(xy[0], xy[1], radius)
-            for sid, dist in hits:
-                prior[i, j, sid] = max(np.exp(-(dist / scale) ** 2), floor)
-            prev_xy = xy
-    return prior
+            weights = np.maximum(np.exp(-(dists / scale) ** 2), floor)
+            rows = order[boundaries[u] : boundaries[u + 1]]
+            prior[np.ix_(rows, ids)] = weights
+        return prior.reshape(b, l_rho, num_segments)
 
 
 class ReachabilityMask:
@@ -282,14 +386,46 @@ class ReachabilityMask:
                  escape_weight: float = 0.02) -> None:
         self.hops = hops
         self.escape_weight = escape_weight
-        self._sets: List[np.ndarray] = []
-        for start, direct in enumerate(out_neighbors):
-            frontier = {start}
-            reached = {start}
-            for _ in range(hops):
-                frontier = {n for s in frontier for n in out_neighbors[s]} - reached
-                reached |= frontier
-            self._sets.append(np.fromiter(reached, dtype=np.int64))
+        n = len(out_neighbors)
+        self.num_nodes = n
+
+        # CSR adjacency of the road graph.
+        adj_indptr, adj_indices, degree = csr_from_lists(out_neighbors)
+
+        # Multi-source BFS, vectorized over ALL start nodes at once: the
+        # frontier is a flat array of (root, node) pairs encoded as
+        # root * n + node; each hop expands every pair's neighbors with one
+        # ragged gather and dedupes against the reached set with sorted
+        # searchsorted membership.  Replaces the per-node Python set-union
+        # BFS (see repro.core.reference.ReferenceReachability).
+        identity = np.arange(n, dtype=np.int64) * n + np.arange(n, dtype=np.int64)
+        reached_keys = identity  # sorted
+        frontier_keys = identity
+        for _ in range(hops):
+            nodes = frontier_keys % n
+            roots = frontier_keys // n
+            counts = degree[nodes]
+            neighbor_nodes = adj_indices[ragged_positions(adj_indptr[nodes], counts)]
+            candidate = np.unique(np.repeat(roots, counts) * n + neighbor_nodes)
+            already_reached, _ = sorted_lookup(reached_keys, candidate)
+            frontier_keys = candidate[~already_reached]
+            if not len(frontier_keys):
+                break
+            reached_keys = np.union1d(reached_keys, frontier_keys)
+
+        # Final closure as CSR: keys are sorted, so roots group contiguously.
+        roots = reached_keys // n
+        self._indices = reached_keys % n
+        self._indptr = np.searchsorted(roots, np.arange(n + 1, dtype=np.int64))
+        self._sets_view: Optional[List[np.ndarray]] = None
+
+    @property
+    def _sets(self) -> List[np.ndarray]:
+        """Per-node reachable-id arrays (compatibility/introspection view),
+        split once and memoized — the CSR arrays are immutable."""
+        if self._sets_view is None:
+            self._sets_view = np.split(self._indices, self._indptr[1:-1])
+        return self._sets_view
 
     def combine(self, mask_row: Optional[np.ndarray], previous: np.ndarray,
                 num_segments: int) -> np.ndarray:
@@ -297,13 +433,18 @@ class ReachabilityMask:
 
         Soft masking: unreachable segments keep ``escape_weight`` of their
         mask weight rather than zero, so a confident model can recover from
-        an earlier wrong turn instead of being locked into it.
+        an earlier wrong turn instead of being locked into it.  The batch
+        dimension is handled with one ragged CSR gather + fancy-indexed
+        restore instead of a per-row Python loop.
         """
+        previous = np.asarray(previous, dtype=np.int64)
         b = len(previous)
         if mask_row is None:
             mask_row = np.ones((b, num_segments))
         out = mask_row * self.escape_weight
-        for i in range(b):
-            reachable = self._sets[int(previous[i])]
-            out[i, reachable] = mask_row[i, reachable]
+        starts = self._indptr[previous]
+        counts = self._indptr[previous + 1] - starts
+        rows = np.repeat(np.arange(b), counts)
+        cols = self._indices[ragged_positions(starts, counts)]
+        out[rows, cols] = mask_row[rows, cols]
         return out

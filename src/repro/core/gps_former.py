@@ -20,12 +20,12 @@ transformer layers and the graph tensors pass through untouched.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-from .. import nn
-from ..nn.tensor import Tensor, gather_rows
+from .. import nn, profile
+from ..nn.tensor import Tensor, gather_rows, is_grad_enabled
 from ..geo.grid import Grid
 from ..roadnet.network import RoadNetwork
 from ..trajectory.dataset import Batch
@@ -142,6 +142,11 @@ class GPSFormer(nn.Module):
             GPSFormerBlock(config, seed=i) for i in range(config.num_gpsformer_layers)
         )
         self.context_proj = nn.Linear(d + ENV_CONTEXT_DIM, d)
+        # Inference-time memo of X_road (see _road_features).  The
+        # generation counter closes the stale-write race: a compute that
+        # started before an invalidation must not repopulate the cache.
+        self._road_cache: Optional[Tensor] = None
+        self._road_cache_generation = 0
 
     # ------------------------------------------------------------------
     def _input_features(self, batch: Batch, road_features: Tensor,
@@ -164,8 +169,42 @@ class GPSFormer(nn.Module):
         return context
 
     # ------------------------------------------------------------------
+    def clear_road_cache(self) -> None:
+        """Drop the memoized X_road (call after mutating parameters in-place
+        while staying in eval mode; train()/load_state_dict clear it too)."""
+        self._road_cache = None
+        self._road_cache_generation += 1
+
+    def load_state_dict(self, state, strict: bool = True) -> None:
+        # Note: Module.load_state_dict on a *parent* assigns parameters
+        # directly and never calls this override — RNTrajRec.load_state_dict
+        # clears the cache for that path; this covers direct encoder loads.
+        self.clear_road_cache()
+        super().load_state_dict(state, strict=strict)
+
+    def _road_features(self) -> Tensor:
+        """X_road — recomputed per forward while training (parameters move
+        between steps and gradients must flow), memoized under
+        ``eval() + no_grad`` where it is a pure function of frozen weights.
+        This turns the road-network encoder into a one-off cost per served
+        model instead of a per-request cost."""
+        if self.training or is_grad_enabled():
+            self._road_cache = None
+            with profile.section("encoder.road_features"):
+                return self.road_encoder()
+        generation = self._road_cache_generation
+        cached = self._road_cache  # local read: a concurrent clear() between
+        if cached is None:         # check and return must not yield None
+            with profile.section("encoder.road_features"):
+                cached = self.road_encoder()
+            if self._road_cache_generation == generation:
+                # Only publish if no invalidation (checkpoint load, train()
+                # flip) landed while we computed — else the result is stale.
+                self._road_cache = cached
+        return cached
+
     def forward(self, batch: Batch) -> EncoderOutput:
-        road_features = self.road_encoder()
+        road_features = self._road_features()
 
         graphs: Optional[SubGraphBatch] = None
         node_features: Optional[Tensor] = None
@@ -182,8 +221,9 @@ class GPSFormer(nn.Module):
             hidden, _ = self._input_features(batch, road_features, graphs_tmp)
 
         hidden = self.positional(hidden)
-        for block in self.blocks:
-            hidden, node_features = block(hidden, node_features, graphs)
+        with profile.section("encoder.blocks"):
+            for block in self.blocks:
+                hidden, node_features = block(hidden, node_features, graphs)
 
         pooled = hidden.mean(axis=1)
         context = Tensor(self._environment(batch))

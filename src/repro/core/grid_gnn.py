@@ -18,7 +18,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from .. import nn
+from .. import nn, profile
 from ..nn.tensor import Tensor
 from ..geo.grid import Grid
 from ..roadnet.network import RoadNetwork
@@ -75,21 +75,23 @@ class GridGNN(nn.Module):
         num_segments = self.network.num_segments
 
         # --- Grid-sequence GRU (Eq. 1), batched over all segments -------
-        state = Tensor(np.zeros((num_segments, d)))
-        for step in range(self._max_len):
-            cell_embed = self.grid_embedding(self._grid_seq[:, step])
-            candidate = self.grid_gru(cell_embed, state)
-            # Only advance segments whose sequence is still running.
-            mask = self._grid_mask[:, step][:, None]
-            state = candidate * Tensor(mask) + state * Tensor(1.0 - mask)
+        with profile.section("road.grid_gru"):
+            state = Tensor(np.zeros((num_segments, d)))
+            for step in range(self._max_len):
+                cell_embed = self.grid_embedding(self._grid_seq[:, step])
+                candidate = self.grid_gru(cell_embed, state)
+                # Only advance segments whose sequence is still running.
+                mask = self._grid_mask[:, step][:, None]
+                state = candidate * Tensor(mask) + state * Tensor(1.0 - mask)
 
         # --- Eq. 2: add the segment ID embedding ------------------------
         identity = self.road_embedding(np.arange(num_segments))
         hidden = (state + identity).relu()
 
         # --- Eqs. 3-4: M GAT layers over the connectivity graph ---------
-        for layer in self.gat_layers:
-            hidden = layer(hidden, self._edge_index)
+        with profile.section("road.gat"):
+            for layer in self.gat_layers:
+                hidden = layer(hidden, self._edge_index)
 
         # --- Static feature fusion --------------------------------------
         combined = nn.concat([hidden, Tensor(self._static)], axis=-1)

@@ -16,8 +16,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .. import nn
-from ..nn.tensor import Tensor
+from .. import nn, profile
+from ..nn.tensor import no_grad
 from ..roadnet.network import RoadNetwork
 from ..trajectory.dataset import Batch
 from ..trajectory.trajectory import MatchedTrajectory
@@ -44,6 +44,20 @@ class RNTrajRec(nn.Module):
             nn.init.xavier_uniform(self.config.hidden_dim, 1), name="model.graph_projection"
         )
         self._reachability: Optional[ReachabilityMask] = None
+
+    def train(self, mode: bool = True) -> "RNTrajRec":
+        # Any train/eval flip may precede in-place parameter updates, so the
+        # encoder's memoized X_road must not survive the transition.
+        self.encoder.clear_road_cache()
+        return super().train(mode)
+
+    def load_state_dict(self, state, strict: bool = True) -> None:
+        # The base implementation assigns parameters directly via
+        # named_parameters() (it never recurses into submodule overrides),
+        # so the encoder's memoized X_road must be dropped here — this is
+        # the path load_checkpoint and the serving registry go through.
+        self.encoder.clear_road_cache()
+        super().load_state_dict(state, strict=strict)
 
     @property
     def reachability(self) -> Optional[ReachabilityMask]:
@@ -82,28 +96,31 @@ class RNTrajRec(nn.Module):
     # ------------------------------------------------------------------
     def recover(self, batch: Batch, beam_width: int = 0) -> Tuple[np.ndarray, np.ndarray]:
         """Recover segments/rates (b, l_ρ); greedy, or beam search if
-        ``beam_width`` > 1."""
-        encoded = self.encode(batch)
-        constraint = batch.constraint_tensor(self.network.num_segments)
-        if self.config.decode_prior_scale > 0:
-            from .decoder import interpolation_prior
+        ``beam_width`` > 1.  Runs under ``no_grad`` — inference never needs
+        the autograd graph, and the encoder can memoize X_road."""
+        with no_grad(), profile.section("model.recover"):
+            with profile.section("model.encode"):
+                encoded = self.encode(batch)
+            constraint = batch.constraint_tensor(self.network.num_segments)
+            if self.config.decode_prior_scale > 0:
+                from .decoder import interpolation_prior
 
-            constraint = constraint * interpolation_prior(
-                batch, self.network, self.config.decode_prior_scale,
-                self.config.decode_prior_floor,
+                constraint = constraint * interpolation_prior(
+                    batch, self.network, self.config.decode_prior_scale,
+                    self.config.decode_prior_floor,
+                )
+            if beam_width > 1:
+                return self.decoder.decode_beam(
+                    encoded.point_features, encoded.trajectory_feature,
+                    batch.target_length, constraint, beam_width=beam_width,
+                )
+            return self.decoder.decode_greedy(
+                encoded.point_features,
+                encoded.trajectory_feature,
+                batch.target_length,
+                constraint,
+                reachability=self.reachability,
             )
-        if beam_width > 1:
-            return self.decoder.decode_beam(
-                encoded.point_features, encoded.trajectory_feature,
-                batch.target_length, constraint, beam_width=beam_width,
-            )
-        return self.decoder.decode_greedy(
-            encoded.point_features,
-            encoded.trajectory_feature,
-            batch.target_length,
-            constraint,
-            reachability=self.reachability,
-        )
 
     def recover_trajectories(self, batch: Batch) -> List[MatchedTrajectory]:
         """Recovered trajectories as first-class objects."""

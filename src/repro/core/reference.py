@@ -1,0 +1,326 @@
+"""Pre-vectorization reference implementations of the recovery hot path.
+
+Every function/class here is a faithful copy of the per-step / per-node
+Python-loop code that shipped before the hot path was vectorized (PR 2).
+They exist for two reasons:
+
+1. **Equivalence guarantees** — ``tests/test_vectorized_equivalence.py``
+   asserts on randomized inputs that each vectorized implementation
+   produces bit-identical (or allclose, where autograd bookkeeping differs
+   by design) outputs to its reference twin.
+2. **Perf trajectory** — ``benchmarks/bench_hotpath.py`` times reference
+   vs. vectorized per stage and emits ``BENCH_hotpath.json``, so every
+   future PR can see whether the hot path regressed.
+
+Nothing in the production path imports this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..geo.distance import gaussian_weight, project_point_to_polyline
+from ..nn.tensor import Tensor
+from ..roadnet.network import RoadNetwork
+from ..trajectory.dataset import Batch
+from .config import RNTrajRecConfig
+from .subgraph_gen import PointSubGraph, SubGraphBatch
+
+
+# ----------------------------------------------------------------------
+# Spatial query: per-candidate Python projection loop
+# ----------------------------------------------------------------------
+
+
+def reference_segments_within(network: RoadNetwork, x: float, y: float,
+                              radius: float) -> List[Tuple[int, float]]:
+    """The original ``RoadNetwork.segments_within``: one Python
+    ``project_point_to_polyline`` call per R-tree candidate (now replaced
+    by one vectorized pass over a flat sub-segment table)."""
+    point = np.array([x, y])
+    hits: List[Tuple[int, float]] = []
+    for sid in network.rtree.query_radius(x, y, radius):
+        dist, _, _ = project_point_to_polyline(point, network.segments[sid].polyline)
+        if dist <= radius:
+            hits.append((sid, dist))
+    hits.sort(key=lambda pair: pair[1])
+    return hits
+
+
+def reference_constraint_for_fix(network: RoadNetwork, x: float, y: float,
+                                 beta: float, max_gps_error: float
+                                 ) -> Tuple[np.ndarray, np.ndarray]:
+    """The original Eq. 16 sparse-constraint builder (list comprehensions
+    over loop-computed hits)."""
+    hits = reference_segments_within(network, float(x), float(y), max_gps_error)
+    if not hits:
+        sid, dist, _ = network.nearest_segment(float(x), float(y))
+        hits = [(sid, dist)]
+    ids = np.array([sid for sid, _ in hits], dtype=np.int64)
+    weights = gaussian_weight(np.array([d for _, d in hits]), beta)
+    return ids, np.maximum(weights, 1e-8)
+
+
+# ----------------------------------------------------------------------
+# Decoder: reachability mask, interpolation prior, greedy / beam decoding
+# ----------------------------------------------------------------------
+
+
+class ReferenceReachability:
+    """Set-union BFS reachability (the original ``ReachabilityMask``)."""
+
+    def __init__(self, out_neighbors: List[List[int]], hops: int = 2,
+                 escape_weight: float = 0.02) -> None:
+        self.hops = hops
+        self.escape_weight = escape_weight
+        self._sets: List[np.ndarray] = []
+        for start, _ in enumerate(out_neighbors):
+            frontier = {start}
+            reached = {start}
+            for _ in range(hops):
+                frontier = {n for s in frontier for n in out_neighbors[s]} - reached
+                reached |= frontier
+            self._sets.append(np.fromiter(reached, dtype=np.int64))
+
+    def combine(self, mask_row: Optional[np.ndarray], previous: np.ndarray,
+                num_segments: int) -> np.ndarray:
+        b = len(previous)
+        if mask_row is None:
+            mask_row = np.ones((b, num_segments))
+        out = mask_row * self.escape_weight
+        for i in range(b):
+            reachable = self._sets[int(previous[i])]
+            out[i, reachable] = mask_row[i, reachable]
+        return out
+
+
+def reference_interpolation_prior(batch: Batch, network, scale: float,
+                                  floor: float) -> np.ndarray:
+    """Per-(sample, step) loop version of ``decoder.interpolation_prior``."""
+    b, l_rho = batch.target_segments.shape
+    num_segments = network.num_segments
+    prior = np.full((b, l_rho, num_segments), floor)
+    radius = 3.0 * scale
+    for i, sample in enumerate(batch.samples):
+        low = sample.raw_low
+        xs = np.interp(batch.target_times[i], low.times, low.xy[:, 0])
+        ys = np.interp(batch.target_times[i], low.times, low.xy[:, 1])
+        prev_xy = None
+        for j in range(l_rho):
+            xy = (float(xs[j]), float(ys[j]))
+            if xy == prev_xy:
+                prior[i, j] = prior[i, j - 1]
+                continue
+            hits = reference_segments_within(network, xy[0], xy[1], radius)
+            for sid, dist in hits:
+                prior[i, j, sid] = max(np.exp(-(dist / scale) ** 2), floor)
+            prev_xy = xy
+    return prior
+
+
+def reference_decode_greedy(
+    decoder,
+    encoder_outputs: Tensor,
+    initial_state: Tensor,
+    target_length: int,
+    constraint: Optional[np.ndarray],
+    reachability=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The original greedy loop: full autograd graph, loop-based masking."""
+    b = encoder_outputs.shape[0]
+    state = initial_state
+    prev_embed = decoder.start_embedding.reshape(1, -1) * Tensor(np.ones((b, 1)))
+    prev_rate = Tensor(np.zeros((b, 1)))
+
+    segments = np.zeros((b, target_length), dtype=np.int64)
+    rates = np.zeros((b, target_length))
+    for j in range(target_length):
+        mask_row = constraint[:, j, :].copy() if constraint is not None else None
+        if reachability is not None and j > 0:
+            mask_row = reachability.combine(mask_row, segments[:, j - 1],
+                                            decoder.num_segments)
+        log_probs, state, _ = decoder._step(prev_embed, prev_rate, state,
+                                            encoder_outputs, mask_row)
+        predicted = np.argmax(log_probs.data, axis=-1)
+        segments[:, j] = predicted
+        pred_embed = decoder.segment_embedding(predicted)
+        rate = decoder._rate(pred_embed, state)
+        rates[:, j] = np.clip(rate.data.reshape(b), 0.0, 1.0 - 1e-9)
+        prev_embed = pred_embed
+        prev_rate = Tensor(rates[:, j][:, None])
+    return segments, rates
+
+
+def reference_decode_beam(
+    decoder,
+    encoder_outputs: Tensor,
+    initial_state: Tensor,
+    target_length: int,
+    constraint: Optional[np.ndarray],
+    beam_width: int = 4,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-beam Python-candidate beam search (the original implementation)."""
+    batch_size = encoder_outputs.shape[0]
+    segments = np.zeros((batch_size, target_length), dtype=np.int64)
+    rates = np.zeros((batch_size, target_length))
+
+    for i in range(batch_size):
+        enc_i = encoder_outputs[i : i + 1]
+        beams = [(
+            0.0,
+            [],
+            initial_state[i : i + 1],
+            decoder.start_embedding.reshape(1, -1),
+            Tensor(np.zeros((1, 1))),
+        )]
+        for j in range(target_length):
+            mask_row = constraint[i : i + 1, j, :] if constraint is not None else None
+            candidates = []
+            for score, history, state, prev_embed, prev_rate in beams:
+                log_probs, new_state, _ = decoder._step(
+                    prev_embed, prev_rate, state, enc_i, mask_row
+                )
+                flat = log_probs.data.reshape(-1)
+                top = np.argpartition(-flat, min(beam_width, len(flat) - 1))[:beam_width]
+                for sid in top:
+                    candidates.append((score + float(flat[sid]), history + [int(sid)],
+                                       new_state, int(sid)))
+            candidates.sort(key=lambda c: -c[0])
+            beams = []
+            for score, history, state, sid in candidates[:beam_width]:
+                embed = decoder.segment_embedding(np.array([sid]))
+                rate = decoder._rate(embed, state)
+                beams.append((score, history, state, embed,
+                              Tensor(np.clip(rate.data, 0.0, 1.0 - 1e-9))))
+        best = max(beams, key=lambda b: b[0])
+        segments[i] = best[1]
+        state = initial_state[i : i + 1]
+        prev_embed = decoder.start_embedding.reshape(1, -1)
+        prev_rate = Tensor(np.zeros((1, 1)))
+        for j in range(target_length):
+            _, state, _ = decoder._step(
+                prev_embed, prev_rate, state, enc_i,
+                constraint[i : i + 1, j, :] if constraint is not None else None,
+            )
+            prev_embed = decoder.segment_embedding(np.array([segments[i, j]]))
+            rate = decoder._rate(prev_embed, state)
+            rates[i, j] = float(np.clip(rate.data.reshape(-1)[0], 0.0, 1.0 - 1e-9))
+            prev_rate = Tensor(np.full((1, 1), rates[i, j]))
+    return segments, rates
+
+
+# ----------------------------------------------------------------------
+# Sub-graph generation (per-node dict/set unions, per-point batch loop)
+# ----------------------------------------------------------------------
+
+
+class ReferenceSubGraphGenerator:
+    """The original per-point / per-node sub-graph builder."""
+
+    def __init__(self, network: RoadNetwork, config: RNTrajRecConfig) -> None:
+        self.network = network
+        self.config = config
+        self._cache: Dict[Tuple[int, int], PointSubGraph] = {}
+
+    def point_subgraph(self, x: float, y: float) -> PointSubGraph:
+        key = (int(round(x)), int(round(y)))  # 1 m quantization
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        cfg = self.config
+        hits = reference_segments_within(self.network, x, y, cfg.receptive_delta)
+        if not hits:
+            sid, dist, _ = self.network.nearest_segment(x, y)
+            hits = [(sid, dist)]
+        hits = hits[: cfg.max_subgraph_nodes]
+
+        segments = np.asarray([sid for sid, _ in hits], dtype=np.int64)
+        distances = np.asarray([d for _, d in hits], dtype=np.float64)
+        weights = np.maximum(gaussian_weight(distances, cfg.influence_gamma), 1e-8)
+
+        local = {int(sid): i for i, sid in enumerate(segments)}
+        edge_src: List[int] = []
+        edge_dst: List[int] = []
+        for sid, i in local.items():
+            for neighbor in self.network.out_neighbors[sid]:
+                j = local.get(int(neighbor))
+                if j is not None:
+                    edge_src.append(i)
+                    edge_dst.append(j)
+        for i in range(len(segments)):
+            edge_src.append(i)
+            edge_dst.append(i)
+
+        result = PointSubGraph(
+            segments=segments,
+            edges=np.asarray([edge_src, edge_dst], dtype=np.int64),
+            weights=weights,
+        )
+        self._cache[key] = result
+        return result
+
+    def batch(self, xy: np.ndarray) -> SubGraphBatch:
+        xy = np.asarray(xy, dtype=np.float64)
+        if xy.ndim != 3 or xy.shape[2] != 2:
+            raise ValueError(f"expected (batch, length, 2) points, got {xy.shape}")
+        b, l = xy.shape[0], xy.shape[1]
+
+        node_segments: List[np.ndarray] = []
+        node_weights: List[np.ndarray] = []
+        graph_ids: List[np.ndarray] = []
+        edge_blocks: List[np.ndarray] = []
+        offset = 0
+        for gid, (px, py) in enumerate(xy.reshape(-1, 2)):
+            sub = self.point_subgraph(float(px), float(py))
+            v = len(sub.segments)
+            node_segments.append(sub.segments)
+            node_weights.append(sub.weights)
+            graph_ids.append(np.full(v, gid, dtype=np.int64))
+            edge_blocks.append(sub.edges + offset)
+            offset += v
+
+        return SubGraphBatch(
+            node_segments=np.concatenate(node_segments),
+            node_weights=np.concatenate(node_weights),
+            graph_ids=np.concatenate(graph_ids),
+            edge_index=np.concatenate(edge_blocks, axis=1),
+            batch_size=b,
+            length=l,
+        )
+
+
+# ----------------------------------------------------------------------
+# GNN scatter kernel and constraint-mask materialization
+# ----------------------------------------------------------------------
+
+
+def reference_scatter_sum(values: np.ndarray, segment_ids: np.ndarray,
+                          num_segments: int) -> np.ndarray:
+    """``np.add.at`` scatter-add (original ``segment_sum`` forward kernel)."""
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    out = np.zeros((num_segments,) + values.shape[1:], dtype=values.dtype)
+    np.add.at(out, segment_ids, values)
+    return out
+
+
+def reference_constraint_matrix(sample, num_segments: int) -> np.ndarray:
+    """Row-buffer loop version of ``RecoverySample.constraint_matrix``."""
+    mask = np.ones((sample.target_length, num_segments), dtype=np.float64)
+    for step, entry in enumerate(sample.constraints):
+        if entry is None:
+            continue
+        ids, weights = entry
+        row = np.zeros(num_segments, dtype=np.float64)
+        row[ids] = weights
+        mask[step] = row
+    return mask
+
+
+def reference_constraint_tensor(batch: Batch, num_segments: int) -> np.ndarray:
+    """Per-sample stack version of ``Batch.constraint_tensor``."""
+    return np.stack([reference_constraint_matrix(s, num_segments)
+                     for s in batch.samples])

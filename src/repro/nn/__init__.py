@@ -18,19 +18,33 @@ from .graph import (
     GraphStack,
     add_self_loops,
     graph_mean_pool,
+    ragged_positions,
 )
 from .layers import BatchNorm, Dropout, Embedding, FeedForward, LayerNorm, Linear
 from .module import Module, ModuleList, Parameter, Sequential
 from .optim import SGD, Adam, StepLR, clip_grad_norm
 from .rnn import GRU, LSTM, BiGRU, GRUCell, LSTMCell
 from .serialization import load_checkpoint, save_checkpoint
-from .tensor import Tensor, concat, gather_rows, segment_mean, segment_softmax, segment_sum, stack, where
+from .tensor import (
+    Tensor,
+    concat,
+    gather_rows,
+    is_grad_enabled,
+    no_grad,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+    stack,
+    where,
+)
 from .transformer import PositionalEncoding, TransformerEncoder, TransformerEncoderLayer, sinusoidal_positions
 
 __all__ = [
     "functional",
     "init",
     "Tensor",
+    "no_grad",
+    "is_grad_enabled",
     "concat",
     "stack",
     "where",
@@ -65,6 +79,7 @@ __all__ = [
     "GraphStack",
     "add_self_loops",
     "graph_mean_pool",
+    "ragged_positions",
     "SGD",
     "Adam",
     "StepLR",

@@ -74,15 +74,22 @@ class AdditiveAttention(Module):
         self.w_h = Linear(dim, dim, bias=False)
         self.v = Parameter(init.xavier_uniform(dim, 1), name="attn.v")
 
+    def project_keys(self, encoder_outputs: Tensor) -> Tensor:
+        """W_h · enc — constant across decode steps, so step loops compute
+        it once and pass it back via ``projected_keys``."""
+        return self.w_h(encoder_outputs)
+
     def forward(
         self,
         decoder_state: Tensor,
         encoder_outputs: Tensor,
         key_mask: Optional[np.ndarray] = None,
+        projected_keys: Optional[Tensor] = None,
     ) -> Tensor:
         """``decoder_state``: (batch, dim); ``encoder_outputs``: (batch, len, dim)."""
         projected_query = self.w_g(decoder_state)  # (batch, dim)
-        projected_keys = self.w_h(encoder_outputs)  # (batch, len, dim)
+        if projected_keys is None:
+            projected_keys = self.project_keys(encoder_outputs)  # (batch, len, dim)
         batch, dim = projected_query.shape
         expanded = projected_query.reshape(batch, 1, dim)
         energy = (expanded + projected_keys).tanh() @ self.v  # (batch, len, 1)

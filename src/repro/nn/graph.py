@@ -32,6 +32,62 @@ def add_self_loops(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
     return np.concatenate([edge_index, np.stack([loops, loops])], axis=1)
 
 
+def csr_from_lists(neighbor_lists) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(indptr, indices, degree) CSR arrays from per-node adjacency lists.
+
+    The array form every vectorized adjacency consumer gathers from; node
+    ``s``'s neighbors are ``indices[indptr[s]:indptr[s+1]]``.
+    """
+    n = len(neighbor_lists)
+    degree = np.fromiter((len(nbrs) for nbrs in neighbor_lists),
+                         dtype=np.int64, count=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degree, out=indptr[1:])
+    indices = np.fromiter(
+        (v for nbrs in neighbor_lists for v in nbrs),
+        dtype=np.int64, count=int(degree.sum()),
+    )
+    return indptr, indices, degree
+
+
+def sorted_lookup(haystack: np.ndarray,
+                  needles: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Membership of ``needles`` in a sorted ``haystack``.
+
+    Returns ``(hit, positions)`` where ``hit`` is a boolean mask and
+    ``positions[hit]`` indexes the matching haystack entries.  The
+    searchsorted-then-compare idiom shared by the sub-graph arena's key
+    resolution and the reachability BFS frontier dedup.
+    """
+    needles = np.asarray(needles)
+    if not len(haystack):
+        return np.zeros(len(needles), dtype=bool), np.zeros(len(needles),
+                                                            dtype=np.int64)
+    positions = np.minimum(np.searchsorted(haystack, needles),
+                           len(haystack) - 1)
+    return haystack[positions] == needles, positions
+
+
+def ragged_positions(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat gather positions for CSR-style ragged slices.
+
+    Given per-row slice ``starts`` and ``counts`` into some flat array,
+    returns the concatenation of ``[starts[k], ..., starts[k] + counts[k])``
+    for every row ``k`` — i.e. the index array that gathers all the slices
+    at once.  This replaces per-row Python loops over CSR adjacency
+    (sub-graph generation, k-hop reachability) with one fancy-indexing op.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    block_ends = np.cumsum(counts)
+    # Position within each block: global arange minus the block's offset.
+    within = np.arange(total, dtype=np.int64) - np.repeat(block_ends - counts, counts)
+    return within + np.repeat(starts, counts)
+
+
 def validate_edge_index(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
     edge_index = np.asarray(edge_index, dtype=np.int64)
     if edge_index.ndim != 2 or edge_index.shape[0] != 2:

@@ -1,0 +1,223 @@
+"""Lightweight wall-clock profiling for the recovery hot path.
+
+A :class:`Profiler` is a thread-safe registry of named **sections** (timed
+spans) and **counters**.  The hot paths of the model and the serving layer
+are instrumented with ``profile.section("...")`` context managers — encode,
+decode, sub-graph generation, and the micro-batch scheduler — so any
+caller (benchmarks, the serving CLI, a notebook) can flip profiling on and
+read a per-stage wall-clock breakdown without touching model code:
+
+    from repro import profile
+
+    profile.enable()
+    model.recover(batch)
+    print(profile.report())
+
+Profiling is **disabled by default** and costs one attribute check plus a
+shared no-op context manager per instrumented span when off, so the
+instrumentation can stay in the production code path permanently.
+``benchmarks/bench_hotpath.py`` uses the same registry to emit the
+``BENCH_hotpath.json`` perf-trajectory artifact.
+
+Section names used by the built-in instrumentation:
+
+==========================  ====================================================
+``model.recover``           end-to-end recovery (encode + priors + decode)
+``model.encode``            full GPSFormer forward
+``encoder.road_features``   road representation (X_road; cache misses only)
+``encoder.blocks``          the GPSFormer transformer/refinement block stack
+``road.grid_gru``           GridGNN grid-sequence GRU (inside road features)
+``road.gat``                GridGNN GAT stack (inside road features)
+``subgraph.batch``          sub-graph generation over a (b, l) point grid
+``decode.prior``            interpolation-prior construction
+``decode.greedy``           greedy decode step loop (also ``recover_padded``)
+``decode.beam``             beam-search decode
+``serve.batch``             one micro-batched decode in the serving scheduler
+==========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+__all__ = [
+    "Profiler",
+    "SectionStat",
+    "PROFILER",
+    "section",
+    "count",
+    "enable",
+    "disable",
+    "reset",
+    "stats",
+    "report",
+]
+
+
+class SectionStat:
+    """Aggregated timings of one named section."""
+
+    __slots__ = ("count", "total_s", "min_s", "max_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        if seconds < self.min_s:
+            self.min_s = seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    def snapshot(self) -> Dict[str, float]:
+        mean = self.total_s / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "total_s": round(self.total_s, 6),
+            "mean_ms": round(1000.0 * mean, 4),
+            "min_ms": round(1000.0 * (self.min_s if self.count else 0.0), 4),
+            "max_ms": round(1000.0 * self.max_s, 4),
+        }
+
+
+class _Section:
+    """Context manager recording one timed span into a profiler."""
+
+    __slots__ = ("_profiler", "_name", "_start")
+
+    def __init__(self, profiler: "Profiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Section":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._profiler.add(self._name, time.perf_counter() - self._start)
+
+
+class _NullSection:
+    """Shared no-op context manager returned while profiling is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_SECTION = _NullSection()
+
+
+class Profiler:
+    """Thread-safe named timer/counter registry."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._sections: Dict[str, SectionStat] = {}
+        self._counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def enable(self) -> "Profiler":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Profiler":
+        self.enabled = False
+        return self
+
+    def reset(self) -> None:
+        with self._lock:
+            self._sections.clear()
+            self._counters.clear()
+
+    # ------------------------------------------------------------------
+    def section(self, name: str):
+        """A context manager timing the enclosed block (no-op when off)."""
+        if not self.enabled:
+            return _NULL_SECTION
+        return _Section(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record one completed span of ``seconds`` under ``name``."""
+        with self._lock:
+            stat = self._sections.get(name)
+            if stat is None:
+                stat = self._sections[name] = SectionStat()
+            stat.add(seconds)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump counter ``name`` by ``n`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, dict]:
+        """Snapshot: ``{"sections": {...}, "counters": {...}}``."""
+        with self._lock:
+            return {
+                "sections": {name: stat.snapshot()
+                             for name, stat in sorted(self._sections.items())},
+                "counters": dict(sorted(self._counters.items())),
+            }
+
+    def report(self) -> str:
+        """Human-readable per-section table, widest total first."""
+        snap = self.stats()
+        lines = [f"{'section':<28}{'count':>8}{'total s':>10}{'mean ms':>10}"
+                 f"{'min ms':>10}{'max ms':>10}"]
+        lines.append("-" * len(lines[0]))
+        ordered = sorted(snap["sections"].items(),
+                         key=lambda kv: -kv[1]["total_s"])
+        for name, stat in ordered:
+            lines.append(f"{name:<28}{stat['count']:>8}{stat['total_s']:>10.3f}"
+                         f"{stat['mean_ms']:>10.2f}{stat['min_ms']:>10.2f}"
+                         f"{stat['max_ms']:>10.2f}")
+        for name, value in snap["counters"].items():
+            lines.append(f"{name:<28}{value:>8}")
+        return "\n".join(lines)
+
+
+#: The process-wide default profiler every instrumented hot path reports to.
+PROFILER = Profiler()
+
+
+def section(name: str):
+    """``with profile.section("decode.greedy"): ...`` on the default profiler."""
+    return PROFILER.section(name)
+
+
+def count(name: str, n: int = 1) -> None:
+    PROFILER.count(name, n)
+
+
+def enable() -> Profiler:
+    return PROFILER.enable()
+
+
+def disable() -> Profiler:
+    return PROFILER.disable()
+
+
+def reset() -> None:
+    PROFILER.reset()
+
+
+def stats() -> Dict[str, dict]:
+    return PROFILER.stats()
+
+
+def report() -> str:
+    return PROFILER.report()

@@ -25,6 +25,7 @@ import numpy as np
 from ..geo.distance import point_along_polyline, polyline_length, project_point_to_polyline
 from ..geo.grid import Grid
 from ..geo.rtree import RTree
+from ..nn.graph import csr_from_lists, ragged_positions
 
 NUM_ROAD_LEVELS = 8
 
@@ -92,6 +93,8 @@ class RoadNetwork:
             self.in_neighbors[b].append(a)
 
         self._rtree: Optional[RTree] = None
+        self._flat_geom: Optional[Tuple[np.ndarray, ...]] = None
+        self._csr_out: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -111,6 +114,16 @@ class RoadNetwork:
         if not self.edges:
             return np.zeros((2, 0), dtype=np.int64)
         return np.asarray(self.edges, dtype=np.int64).T
+
+    def csr_out_neighbors(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached CSR view of the out-neighbor lists: (indptr, indices,
+        degree).  Segment ``s``'s successors are
+        ``indices[indptr[s]:indptr[s+1]]`` — the array form every
+        vectorized consumer (sub-graph generation, k-hop reachability)
+        gathers from."""
+        if self._csr_out is None:
+            self._csr_out = csr_from_lists(self.out_neighbors)
+        return self._csr_out
 
     def bounds(self) -> Tuple[float, float, float, float]:
         boxes = np.asarray([s.bbox() for s in self.segments])
@@ -151,16 +164,79 @@ class RoadNetwork:
             self._rtree = RTree(np.asarray([s.bbox() for s in self.segments]))
         return self._rtree
 
+    def _flat_geometry(self) -> Tuple[np.ndarray, ...]:
+        """Lazy flat view of every polyline sub-segment of every segment.
+
+        Returns ``(indptr, starts, vectors, length²)`` where segment ``s``'s
+        sub-segments occupy rows ``indptr[s]:indptr[s+1]``.  This is what
+        makes :meth:`segment_distances` one vectorized pass instead of a
+        Python loop calling ``project_point_to_polyline`` per candidate —
+        the single hottest loop in constraint-mask / prior / sub-graph
+        construction.
+        """
+        if getattr(self, "_flat_geom", None) is None:
+            counts = np.fromiter((len(s.polyline) - 1 for s in self.segments),
+                                 dtype=np.int64, count=len(self.segments))
+            indptr = np.zeros(len(self.segments) + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            starts = np.concatenate([s.polyline[:-1] for s in self.segments])
+            ends = np.concatenate([s.polyline[1:] for s in self.segments])
+            vectors = ends - starts
+            length2 = vectors[:, 0] ** 2 + vectors[:, 1] ** 2
+            self._flat_geom = (indptr, starts, vectors, length2)
+        return self._flat_geom
+
+    def segment_distances(self, x: float, y: float,
+                          segment_ids: np.ndarray) -> np.ndarray:
+        """Exact point-to-geometry distances for an array of segment ids.
+
+        Identical math to ``project_point_to_polyline`` (clamp the
+        projection parameter per sub-segment, take the per-segment minimum)
+        evaluated over all candidates' sub-segments in one vectorized pass.
+        """
+        indptr, starts, vectors, length2 = self._flat_geometry()
+        segment_ids = np.asarray(segment_ids, dtype=np.int64)
+        if not len(segment_ids):
+            return np.zeros(0)
+        counts = indptr[segment_ids + 1] - indptr[segment_ids]
+        rows = ragged_positions(indptr[segment_ids], counts)
+        sub_starts = starts[rows]
+        sub_vecs = vectors[rows]
+        rel_x = x - sub_starts[:, 0]
+        rel_y = y - sub_starts[:, 1]
+        t = (rel_x * sub_vecs[:, 0] + rel_y * sub_vecs[:, 1]) / np.maximum(
+            length2[rows], 1e-12)
+        t = np.clip(t, 0.0, 1.0)
+        foot = sub_starts + t[:, None] * sub_vecs
+        delta = np.array([x, y])[None, :] - foot
+        dists = np.linalg.norm(delta, axis=1)
+        group_offsets = np.zeros(len(segment_ids), dtype=np.int64)
+        np.cumsum(counts[:-1], out=group_offsets[1:])
+        return np.minimum.reduceat(dists, group_offsets)
+
+    def segments_within_arrays(self, x: float, y: float,
+                               radius: float) -> Tuple[np.ndarray, np.ndarray]:
+        """(ids, distances) of segments within ``radius``, nearest first.
+
+        The array-native twin of :meth:`segments_within` used by the hot
+        callers (constraint masks, decode prior, sub-graph generation); the
+        sort is stable over the R-tree candidate order, matching the
+        original list-based implementation tie for tie.
+        """
+        candidates = self.rtree.query_radius(x, y, radius)
+        if not candidates:
+            return (np.zeros(0, dtype=np.int64), np.zeros(0))
+        ids = np.asarray(candidates, dtype=np.int64)
+        dists = self.segment_distances(x, y, ids)
+        keep = dists <= radius
+        ids, dists = ids[keep], dists[keep]
+        order = np.argsort(dists, kind="stable")
+        return ids[order], dists[order]
+
     def segments_within(self, x: float, y: float, radius: float) -> List[Tuple[int, float]]:
         """(segment_id, exact distance) pairs within ``radius`` of (x, y)."""
-        point = np.array([x, y])
-        hits: List[Tuple[int, float]] = []
-        for sid in self.rtree.query_radius(x, y, radius):
-            dist, _, _ = project_point_to_polyline(point, self.segments[sid].polyline)
-            if dist <= radius:
-                hits.append((sid, dist))
-        hits.sort(key=lambda pair: pair[1])
-        return hits
+        ids, dists = self.segments_within_arrays(x, y, radius)
+        return [(int(sid), float(dist)) for sid, dist in zip(ids, dists)]
 
     def nearest_segment(self, x: float, y: float, search_radius: float = 200.0) -> Tuple[int, float, float]:
         """Closest segment to (x, y): returns (segment_id, distance, ratio).

@@ -25,6 +25,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from .. import profile
 from ..core.config import RNTrajRecConfig
 from ..core.model import RNTrajRec
 from ..roadnet.network import RoadNetwork
@@ -58,17 +59,24 @@ class ServeConfig:
     time_precision: float = 0.1    # cache-key quantization (seconds)
 
     @classmethod
-    def for_dataset(cls, data, **overrides) -> "ServeConfig":
-        """Ingest parameters derived from a ``LoadedDataset``'s spec, so the
+    def for_spec(cls, spec, **overrides) -> "ServeConfig":
+        """Ingest parameters derived from a ``DatasetSpec`` alone, so the
         serving constraint masks match the ones the model was trained with
-        (ε_ρ interval, β kernel scale, GPS error radius)."""
+        (ε_ρ interval, β kernel scale, GPS error radius).  This is the
+        light path for servers that only need the network + spec — no
+        trajectory simulation or sample building required."""
         params = dict(
-            interval=data.spec.simulation.sample_interval,
-            beta=data.spec.dataset.beta,
-            max_gps_error=data.spec.dataset.max_gps_error,
+            interval=spec.simulation.sample_interval,
+            beta=spec.dataset.beta,
+            max_gps_error=spec.dataset.max_gps_error,
         )
         params.update(overrides)
         return cls(**params)
+
+    @classmethod
+    def for_dataset(cls, data, **overrides) -> "ServeConfig":
+        """:meth:`for_spec` over a materialized ``LoadedDataset``."""
+        return cls.for_spec(data.spec, **overrides)
 
     def ingest(self) -> IngestConfig:
         return IngestConfig(interval=self.interval, beta=self.beta,
@@ -259,6 +267,7 @@ class RecoveryService:
         in-flight requests finish on the model that was active when they
         arrived, even across a hot-swap.
         """
-        batch, lengths = make_padded_batch([sample for sample, _, _ in items])
-        model = items[0][2]
-        return model.recover_padded(batch, lengths)
+        with profile.section("serve.batch"):
+            batch, lengths = make_padded_batch([sample for sample, _, _ in items])
+            model = items[0][2]
+            return model.recover_padded(batch, lengths)

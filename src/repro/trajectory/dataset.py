@@ -38,14 +38,15 @@ def constraint_for_fix(network: RoadNetwork, x: float, y: float,
     Shared by the offline dataset builder and the online serving ingest so
     the two paths can never diverge: segments within ``max_gps_error``
     meters weighted by ω(e, p) = exp(-d²/β²), falling back to the single
-    nearest segment when none are in range.
+    nearest segment when none are in range.  Works on the network's
+    array-native query (one vectorized distance pass over all candidates).
     """
-    hits = network.segments_within(float(x), float(y), max_gps_error)
-    if not hits:
+    ids, dists = network.segments_within_arrays(float(x), float(y), max_gps_error)
+    if not len(ids):
         sid, dist, _ = network.nearest_segment(float(x), float(y))
-        hits = [(sid, dist)]
-    ids = np.array([sid for sid, _ in hits], dtype=np.int64)
-    weights = gaussian_weight(np.array([d for _, d in hits]), beta)
+        ids = np.array([sid], dtype=np.int64)
+        dists = np.array([dist])
+    weights = gaussian_weight(dists, beta)
     return ids, np.maximum(weights, 1e-8)
 
 
@@ -69,15 +70,22 @@ class RecoverySample:
         return len(self.target)
 
     def constraint_matrix(self, num_segments: int) -> np.ndarray:
-        """Dense (l_ρ, |V|) constraint mask (1.0 where unconstrained)."""
+        """Dense (l_ρ, |V|) constraint mask (1.0 where unconstrained).
+
+        Materialized with one allocation plus two scatter writes (zero the
+        constrained rows, then place the sparse weights) instead of
+        building a |V|-sized row buffer per observed step.
+        """
         mask = np.ones((self.target_length, num_segments), dtype=np.float64)
-        for step, entry in enumerate(self.constraints):
-            if entry is None:
-                continue
-            ids, weights = entry
-            row = np.zeros(num_segments, dtype=np.float64)
-            row[ids] = weights
-            mask[step] = row
+        steps = [step for step, entry in enumerate(self.constraints)
+                 if entry is not None]
+        if not steps:
+            return mask
+        mask[steps] = 0.0
+        ids = np.concatenate([self.constraints[step][0] for step in steps])
+        weights = np.concatenate([self.constraints[step][1] for step in steps])
+        lengths = [len(self.constraints[step][0]) for step in steps]
+        mask[np.repeat(steps, lengths), ids] = weights
         return mask
 
 
@@ -172,8 +180,32 @@ class Batch:
         return self.target_segments.shape[1]
 
     def constraint_tensor(self, num_segments: int) -> np.ndarray:
-        """(b, l_ρ, |V|) dense constraint masks."""
-        return np.stack([s.constraint_matrix(num_segments) for s in self.samples])
+        """(b, l_ρ, |V|) dense constraint masks.
+
+        One allocation + batched scatter writes across all samples, rather
+        than stacking per-sample matrices (which copies every row twice).
+        """
+        mask = np.ones((self.size, self.target_length, num_segments),
+                       dtype=np.float64)
+        rows_i: List[int] = []
+        rows_j: List[int] = []
+        id_blocks: List[np.ndarray] = []
+        weight_blocks: List[np.ndarray] = []
+        for i, sample in enumerate(self.samples):
+            for j, entry in enumerate(sample.constraints):
+                if entry is None:
+                    continue
+                rows_i.append(i)
+                rows_j.append(j)
+                id_blocks.append(entry[0])
+                weight_blocks.append(entry[1])
+        if not rows_i:
+            return mask
+        mask[rows_i, rows_j] = 0.0
+        lengths = [len(ids) for ids in id_blocks]
+        mask[np.repeat(rows_i, lengths), np.repeat(rows_j, lengths),
+             np.concatenate(id_blocks)] = np.concatenate(weight_blocks)
+        return mask
 
 
 def make_batch(samples: Sequence[RecoverySample]) -> Batch:

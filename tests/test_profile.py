@@ -1,0 +1,127 @@
+"""Tests for the profiling registry and the hot-path benchmark harness."""
+
+import importlib.util
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import profile
+from repro.core import RNTrajRec, RNTrajRecConfig
+from repro.profile import Profiler
+from repro.roadnet import CityConfig, generate_city
+from repro.trajectory import (
+    DatasetConfig,
+    SimulationConfig,
+    TrajectorySimulator,
+    build_samples,
+    make_batch,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestProfiler:
+    def test_disabled_sections_are_noops(self):
+        p = Profiler()
+        with p.section("x"):
+            pass
+        p.count("c")
+        snap = p.stats()
+        assert snap["sections"] == {} and snap["counters"] == {}
+
+    def test_sections_and_counters_record(self):
+        p = Profiler(enabled=True)
+        for _ in range(3):
+            with p.section("work"):
+                time.sleep(0.001)
+        p.count("items", 5)
+        p.count("items", 2)
+        snap = p.stats()
+        assert snap["sections"]["work"]["count"] == 3
+        assert snap["sections"]["work"]["total_s"] >= 0.003
+        assert snap["sections"]["work"]["min_ms"] <= snap["sections"]["work"]["max_ms"]
+        assert snap["counters"]["items"] == 7
+
+    def test_reset_and_report(self):
+        p = Profiler(enabled=True)
+        with p.section("stage"):
+            pass
+        assert "stage" in p.report()
+        p.reset()
+        assert p.stats()["sections"] == {}
+
+    def test_thread_safety(self):
+        p = Profiler(enabled=True)
+
+        def worker():
+            for _ in range(200):
+                with p.section("shared"):
+                    pass
+                p.count("n")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = p.stats()
+        assert snap["sections"]["shared"]["count"] == 800
+        assert snap["counters"]["n"] == 800
+
+    def test_exception_still_records(self):
+        p = Profiler(enabled=True)
+        with pytest.raises(ValueError):
+            with p.section("failing"):
+                raise ValueError("boom")
+        assert p.stats()["sections"]["failing"]["count"] == 1
+
+
+class TestWiredSections:
+    def test_recover_populates_hotpath_sections(self):
+        city = generate_city(CityConfig(width=1000, height=1000, block=250, seed=9))
+        config = RNTrajRecConfig(hidden_dim=16, num_heads=2, dropout=0.0,
+                                 max_subgraph_nodes=16, receptive_delta=250.0)
+        model = RNTrajRec(city, config)
+        model.eval()
+        sim = TrajectorySimulator(city, SimulationConfig(target_points=9, seed=2))
+        batch = make_batch(build_samples(sim.simulate(3), city,
+                                         DatasetConfig(keep_every=4)))
+        profile.reset()
+        profile.enable()
+        try:
+            model.recover(batch)
+        finally:
+            profile.disable()
+        sections = profile.stats()["sections"]
+        for name in ("model.recover", "model.encode", "subgraph.batch",
+                     "decode.greedy", "decode.prior", "encoder.road_features"):
+            assert name in sections, name
+        profile.reset()
+
+
+class TestHotpathBenchSmoke:
+    def test_run_hotpath_bench_tiny(self):
+        """The benchmark harness runs end to end at a tiny budget and
+        produces a well-formed artifact with matching outputs (the >= 2x
+        speedup bar is asserted only by the full benchmark)."""
+        spec = importlib.util.spec_from_file_location(
+            "bench_hotpath", REPO / "benchmarks" / "bench_hotpath.py")
+        module = importlib.util.module_from_spec(spec)
+        sys.modules["bench_hotpath"] = module
+        spec.loader.exec_module(module)
+
+        artifact = module.run_hotpath_bench(trajectories=24, batch_size=6,
+                                            repeats=1, hidden=16)
+        stages = {row["stage"] for row in artifact["rows"]}
+        assert {"decode_greedy_steps", "beam_search", "subgraph_generation",
+                "interpolation_prior", "constraint_ingest", "constraint_tensor",
+                "gnn_scatter"} <= stages
+        assert all(row["outputs_match"] for row in artifact["rows"])
+        assert all(row["after_ms"] > 0 for row in artifact["rows"])
+        assert "decode.greedy" in artifact["profile_sections"]
+        assert artifact["required"].keys() == {"decode_greedy_steps",
+                                               "subgraph_generation"}

@@ -1,0 +1,303 @@
+"""Equivalence tests: vectorized hot paths vs pre-vectorization references.
+
+Every vectorized implementation introduced by the hot-path sweep must
+reproduce its reference twin from :mod:`repro.core.reference` on
+randomized inputs — bitwise wherever the floating-point operations are
+order-preserved, and to ulp precision where vectorized SIMD transcendental
+kernels may legitimately differ from their scalar counterparts (see the
+interpolation-prior test).
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import RNTrajRec, RNTrajRecConfig, reference
+from repro.core.decoder import ReachabilityMask, RecoveryDecoder, interpolation_prior
+from repro.core.subgraph_gen import SubGraphGenerator
+from repro.nn.graph import ragged_positions
+from repro.nn.tensor import Tensor, no_grad, scatter_sum_array
+from repro.roadnet import CityConfig, generate_city
+from repro.trajectory import (
+    DatasetConfig,
+    SimulationConfig,
+    TrajectorySimulator,
+    build_samples,
+    make_batch,
+)
+from repro.trajectory.dataset import constraint_for_fix
+
+CFG = RNTrajRecConfig(hidden_dim=16, num_heads=2, max_subgraph_nodes=24,
+                      receptive_delta=300.0, dropout=0.0)
+
+
+@pytest.fixture(scope="module")
+def city():
+    return generate_city(CityConfig(width=1200, height=1200, block=250,
+                                    minor_fraction=0.5, seed=9))
+
+
+@pytest.fixture(scope="module")
+def batch(city):
+    sim = TrajectorySimulator(city, SimulationConfig(target_points=17, seed=2))
+    samples = build_samples(sim.simulate(6), city, DatasetConfig(keep_every=4))
+    return make_batch(samples)
+
+
+def _graphs_equal(a, b):
+    for field in ("node_segments", "node_weights", "graph_ids", "edge_index"):
+        assert np.array_equal(getattr(a, field), getattr(b, field)), field
+    assert (a.batch_size, a.length) == (b.batch_size, b.length)
+
+
+class TestRaggedPositions:
+    def test_matches_python_slices(self):
+        rng = np.random.default_rng(0)
+        counts = rng.integers(0, 6, size=40)
+        starts = rng.integers(0, 100, size=40)
+        expected = np.concatenate(
+            [np.arange(s, s + c) for s, c in zip(starts, counts)]
+        ) if counts.sum() else np.zeros(0, dtype=np.int64)
+        assert np.array_equal(ragged_positions(starts, counts), expected)
+
+    def test_empty(self):
+        assert len(ragged_positions(np.zeros(0, np.int64), np.zeros(0, np.int64))) == 0
+
+
+class TestSpatialQueries:
+    def test_segments_within_bitwise(self, city):
+        rng = np.random.default_rng(1)
+        for _ in range(25):
+            x, y = rng.uniform(-50, 1250, 2)
+            radius = float(rng.uniform(40, 400))
+            expected = reference.reference_segments_within(city, x, y, radius)
+            got = city.segments_within(x, y, radius)
+            assert [sid for sid, _ in got] == [sid for sid, _ in expected]
+            assert np.array_equal(np.array([d for _, d in got]),
+                                  np.array([d for _, d in expected]))
+
+    def test_constraint_for_fix_bitwise(self, city):
+        rng = np.random.default_rng(2)
+        for _ in range(25):
+            x, y = rng.uniform(0, 1200, 2)
+            ids_ref, w_ref = reference.reference_constraint_for_fix(
+                city, x, y, 15.0, 100.0)
+            ids_new, w_new = constraint_for_fix(city, x, y, 15.0, 100.0)
+            assert np.array_equal(ids_ref, ids_new)
+            assert np.array_equal(w_ref, w_new)
+
+
+class TestReachability:
+    @pytest.mark.parametrize("hops", [1, 2, 3])
+    def test_closure_sets_match(self, city, hops):
+        ref = reference.ReferenceReachability(city.out_neighbors, hops=hops)
+        new = ReachabilityMask(city.out_neighbors, hops=hops)
+        for sid in range(city.num_segments):
+            assert set(ref._sets[sid].tolist()) == set(new._sets[sid].tolist())
+
+    def test_combine_bitwise(self, city):
+        ref = reference.ReferenceReachability(city.out_neighbors, hops=2)
+        new = ReachabilityMask(city.out_neighbors, hops=2)
+        rng = np.random.default_rng(3)
+        previous = rng.integers(0, city.num_segments, size=9)
+        mask = rng.random((9, city.num_segments))
+        assert np.array_equal(
+            ref.combine(mask.copy(), previous, city.num_segments),
+            new.combine(mask.copy(), previous, city.num_segments),
+        )
+
+    def test_combine_without_mask(self, city):
+        ref = reference.ReferenceReachability(city.out_neighbors, hops=1)
+        new = ReachabilityMask(city.out_neighbors, hops=1)
+        previous = np.array([0, 5, 11])
+        assert np.array_equal(ref.combine(None, previous, city.num_segments),
+                              new.combine(None, previous, city.num_segments))
+
+
+class TestInterpolationPrior:
+    def test_within_ulp_of_reference(self, city, batch):
+        ref = reference.reference_interpolation_prior(batch, city, 150.0, 0.005)
+        new = interpolation_prior(batch, city, 150.0, 0.005)
+        # Vectorized (SIMD) np.exp may differ from the seed's scalar np.exp
+        # in the last ulp; everything else is order-preserved.
+        np.testing.assert_array_max_ulp(ref, new, maxulp=16)
+
+
+class TestSubGraphGeneration:
+    def test_batch_matches_reference(self, city, batch):
+        ref = reference.ReferenceSubGraphGenerator(city, CFG)
+        new = SubGraphGenerator(city, CFG)
+        _graphs_equal(ref.batch(batch.input_xy), new.batch(batch.input_xy))
+        # Warm path (arena gathers) and a second, partially-overlapping grid.
+        _graphs_equal(ref.batch(batch.input_xy), new.batch(batch.input_xy))
+        shifted = batch.input_xy + 37.0
+        _graphs_equal(ref.batch(shifted), new.batch(shifted))
+        _graphs_equal(ref.batch(batch.input_xy), new.batch(batch.input_xy))
+
+    def test_point_subgraph_matches_reference(self, city):
+        ref = reference.ReferenceSubGraphGenerator(city, CFG)
+        new = SubGraphGenerator(city, CFG)
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            x, y = rng.uniform(0, 1200, 2)
+            a = ref.point_subgraph(float(x), float(y))
+            b = new.point_subgraph(float(x), float(y))
+            assert np.array_equal(a.segments, b.segments)
+            assert np.array_equal(a.weights, b.weights)
+            assert np.array_equal(a.edges, b.edges)
+
+    def test_concurrent_generation_is_correct(self, city, batch):
+        """Concurrent threads (the serving worker + direct callers share one
+        model) must not corrupt each other's sub-graphs through the shared
+        scratch buffer or the arena."""
+        import threading
+
+        gen = SubGraphGenerator(city, CFG)
+        grids = [batch.input_xy + 13.0 * i for i in range(4)]
+        results = [None] * len(grids)
+
+        def worker(index):
+            for _ in range(3):
+                results[index] = gen.batch(grids[index])
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(len(grids))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for grid, result in zip(grids, results):
+            expected = reference.ReferenceSubGraphGenerator(city, CFG).batch(grid)
+            _graphs_equal(expected, result)
+
+    def test_clear_cache_resets_arena(self, city, batch):
+        gen = SubGraphGenerator(city, CFG)
+        gen.batch(batch.input_xy)
+        gen.clear_cache()
+        assert gen._num_slots == 0 and len(gen._known_keys) == 0
+        ref = reference.ReferenceSubGraphGenerator(city, CFG)
+        _graphs_equal(ref.batch(batch.input_xy), gen.batch(batch.input_xy))
+
+
+class TestScatterSum:
+    @pytest.mark.parametrize("shape", [(60,), (60, 3), (60, 4, 5), (0, 3)])
+    def test_bitwise_vs_add_at(self, shape):
+        rng = np.random.default_rng(5)
+        values = rng.normal(size=shape)
+        ids = rng.integers(0, 11, size=shape[0])
+        assert np.array_equal(reference.reference_scatter_sum(values, ids, 11),
+                              scatter_sum_array(values, ids, 11))
+
+    def test_tensor_segment_sum_gradient_unchanged(self):
+        rng = np.random.default_rng(6)
+        values = Tensor(rng.normal(size=(30, 4)), requires_grad=True)
+        ids = rng.integers(0, 7, size=30)
+        out = nn.segment_sum(values, ids, 7)
+        out.sum().backward()
+        assert np.array_equal(values.grad, np.ones((30, 4)))
+
+
+class TestConstraintMasks:
+    def test_matrix_and_tensor_bitwise(self, city, batch):
+        num_segments = city.num_segments
+        for sample in batch.samples:
+            assert np.array_equal(
+                reference.reference_constraint_matrix(sample, num_segments),
+                sample.constraint_matrix(num_segments),
+            )
+        assert np.array_equal(
+            reference.reference_constraint_tensor(batch, num_segments),
+            batch.constraint_tensor(num_segments),
+        )
+
+
+class TestDecoderEquivalence:
+    def _decoder_inputs(self, city, batch, seed):
+        decoder = RecoveryDecoder(city.num_segments, CFG)
+        rng = np.random.default_rng(seed)
+        enc = Tensor(rng.normal(size=(batch.size, batch.input_length, CFG.hidden_dim)))
+        state = Tensor(rng.normal(size=(batch.size, CFG.hidden_dim)))
+        return decoder, enc, state
+
+    def test_greedy_bitwise_with_mask_and_reachability(self, city, batch):
+        decoder, enc, state = self._decoder_inputs(city, batch, 7)
+        constraint = batch.constraint_tensor(city.num_segments)
+        reach_ref = reference.ReferenceReachability(city.out_neighbors, hops=2)
+        reach_new = ReachabilityMask(city.out_neighbors, hops=2)
+        seg_ref, rate_ref = reference.reference_decode_greedy(
+            decoder, enc, state, batch.target_length, constraint, reach_ref)
+        seg_new, rate_new = decoder.decode_greedy(
+            enc, state, batch.target_length, constraint, reachability=reach_new)
+        assert np.array_equal(seg_ref, seg_new)
+        assert np.array_equal(rate_ref, rate_new)
+
+    def test_greedy_bitwise_without_mask(self, city, batch):
+        decoder, enc, state = self._decoder_inputs(city, batch, 8)
+        seg_ref, rate_ref = reference.reference_decode_greedy(
+            decoder, enc, state, batch.target_length, None, None)
+        seg_new, rate_new = decoder.decode_greedy(
+            enc, state, batch.target_length, None)
+        assert np.array_equal(seg_ref, seg_new)
+        assert np.array_equal(rate_ref, rate_new)
+
+    @pytest.mark.parametrize("beam_width", [1, 3, 5])
+    def test_beam_matches_reference(self, city, batch, beam_width):
+        decoder, enc, state = self._decoder_inputs(city, batch, 9 + beam_width)
+        constraint = batch.constraint_tensor(city.num_segments)
+        seg_ref, rate_ref = reference.reference_decode_beam(
+            decoder, enc, state, batch.target_length, constraint, beam_width)
+        seg_new, rate_new = decoder.decode_beam(
+            enc, state, batch.target_length, constraint, beam_width)
+        assert np.array_equal(seg_ref, seg_new)
+        assert np.allclose(rate_ref, rate_new, atol=1e-12)
+
+
+class TestNoGradAndRoadCache:
+    def test_no_grad_values_identical(self):
+        rng = np.random.default_rng(10)
+        w = nn.Parameter(rng.normal(size=(5, 5)))
+        x = Tensor(rng.normal(size=(3, 5)))
+        with_graph = (x @ w).relu().sum()
+        with no_grad():
+            without_graph = (x @ w).relu().sum()
+            assert not (x @ w).requires_grad
+        assert np.array_equal(with_graph.data, without_graph.data)
+        assert with_graph.requires_grad  # outside the context grads record
+
+    def test_recover_identical_across_calls_and_cache(self, city, batch):
+        model = RNTrajRec(city, CFG)
+        model.eval()
+        first = model.recover(batch)
+        assert model.encoder._road_cache is not None  # memoized under eval
+        second = model.recover(batch)  # served from the road cache
+        assert np.array_equal(first[0], second[0])
+        assert np.array_equal(first[1], second[1])
+
+    def test_load_state_dict_invalidates_road_cache(self, city, batch):
+        """A checkpoint load into a warm eval-mode model must not serve
+        X_road computed from the previous parameters."""
+        rng = np.random.default_rng(11)
+        donor = RNTrajRec(city, CFG)
+        for param in donor.parameters():
+            param.data = rng.normal(size=param.data.shape, scale=0.05)
+        donor.eval()
+        expected = donor.recover(batch)
+
+        model = RNTrajRec(city, CFG)
+        model.eval()
+        model.recover(batch)  # warm the road cache with the initial weights
+        model.load_state_dict(donor.state_dict())
+        assert model.encoder._road_cache is None
+        loaded = model.recover(batch)
+        assert np.array_equal(expected[0], loaded[0])
+        assert np.array_equal(expected[1], loaded[1])
+
+    def test_train_clears_road_cache_and_training_still_works(self, city, batch):
+        model = RNTrajRec(city, CFG)
+        model.eval()
+        model.recover(batch)
+        model.train()
+        assert model.encoder._road_cache is None
+        loss = model.compute_loss(batch, teacher_forcing_ratio=1.0)
+        loss.total.backward()  # gradients flow: the cache must not be used
+        assert any(p.grad is not None for p in model.encoder.road_encoder.parameters())

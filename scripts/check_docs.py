@@ -1,14 +1,22 @@
-"""Validate intra-repo markdown links (run by the CI docs job).
+"""Validate the documentation against the repo (run by the CI docs job).
 
-Scans every tracked ``*.md`` file for inline links/images and checks that
-relative targets resolve to an existing file or directory.  External
-schemes (http/https/mailto) and pure in-page anchors are skipped;
-``path#anchor`` links are checked for the path part, and the anchor is
-verified against the target's headings when the target is markdown.
+Four checks over every tracked ``*.md`` file:
+
+1. **links** — inline links/images must resolve to an existing file or
+   directory; ``path#anchor`` anchors are verified against the target's
+   headings when the target is markdown (external schemes and pure
+   in-page anchors are skipped);
+2. **paths** — every ``src/repro/...`` path mentioned in prose or tables
+   must exist on disk (catches docs naming moved/renamed modules);
+3. **artifacts** — every ``BENCH_*.json`` artifact name mentioned in the
+   docs must be produced by some benchmark under ``benchmarks/`` (catches
+   tables advertising artifacts nothing writes);
+4. **package index** — ``docs/api.md`` must name every package under
+   ``src/repro/`` (catches new subsystems that never got documented).
 
     python scripts/check_docs.py [root]
 
-Exits non-zero listing every broken link.
+Exits non-zero listing every problem.
 """
 
 from __future__ import annotations
@@ -18,6 +26,9 @@ import sys
 from pathlib import Path
 
 LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Repo paths named in prose/tables (``src/repro/serve/``, src/repro/geo/grid.py ...)
+SRC_PATH_PATTERN = re.compile(r"src/repro[\w./-]*")
+BENCH_ARTIFACT_PATTERN = re.compile(r"BENCH_\w+\.json")
 SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
 SKIP_DIRS = {".git", "__pycache__", "_cache", "node_modules", ".pytest_cache"}
 
@@ -42,9 +53,8 @@ def markdown_files(root: Path):
             yield path
 
 
-def check_file(path: Path, root: Path) -> list:
+def check_file(path: Path, root: Path, text: str) -> list:
     problems = []
-    text = path.read_text(encoding="utf-8")
     for target in LINK_PATTERN.findall(text):
         if target.startswith(SKIP_PREFIXES):
             continue
@@ -65,20 +75,77 @@ def check_file(path: Path, root: Path) -> list:
     return problems
 
 
+def check_source_paths(path: Path, root: Path, text: str) -> list:
+    """Every ``src/repro/...`` path a doc names must exist on disk."""
+    problems = []
+    for token in set(SRC_PATH_PATTERN.findall(text)):
+        cleaned = token.rstrip(".")         # sentence-final "src/repro/geo."
+        if "*" in cleaned:                  # glob-speak like src/repro/*
+            continue
+        if not (root / cleaned).exists():
+            problems.append(
+                f"{path.relative_to(root)}: names missing path {cleaned!r}")
+    return problems
+
+
+def check_bench_artifacts(path: Path, root: Path, text: str,
+                          bench_sources: str) -> list:
+    """Every ``BENCH_*.json`` a doc advertises must be written by a bench."""
+    problems = []
+    for artifact in set(BENCH_ARTIFACT_PATTERN.findall(text)):
+        if artifact not in bench_sources:
+            problems.append(
+                f"{path.relative_to(root)}: artifact {artifact!r} is not "
+                "produced by any file under benchmarks/")
+    return problems
+
+
+def repo_packages(root: Path) -> list:
+    """Package names under ``src/repro/`` (directories with __init__.py)."""
+    return sorted(
+        entry.name for entry in (root / "src" / "repro").iterdir()
+        if entry.is_dir() and (entry / "__init__.py").exists()
+    )
+
+
+def check_package_index(root: Path) -> list:
+    """``docs/api.md`` must document every ``src/repro/*`` package."""
+    api = root / "docs" / "api.md"
+    if not api.exists():
+        return ["docs/api.md: missing — the package index must cover every "
+                "package under src/repro/"]
+    text = api.read_text(encoding="utf-8")
+    return [
+        f"docs/api.md: package `repro.{name}` (src/repro/{name}/) is not "
+        "documented"
+        for name in repo_packages(root)
+        if f"repro.{name}" not in text
+    ]
+
+
 def main() -> int:
     root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else (
         Path(__file__).resolve().parent.parent)
+    bench_sources = "\n".join(
+        bench.read_text(encoding="utf-8")
+        for bench in sorted((root / "benchmarks").glob("*.py")))
     problems = []
     count = 0
     for path in markdown_files(root):
         count += 1
-        problems.extend(check_file(path, root))
+        text = path.read_text(encoding="utf-8")
+        problems.extend(check_file(path, root, text))
+        problems.extend(check_source_paths(path, root, text))
+        problems.extend(check_bench_artifacts(path, root, text, bench_sources))
+    problems.extend(check_package_index(root))
     if problems:
-        print(f"checked {count} markdown files — {len(problems)} broken link(s):")
+        print(f"checked {count} markdown files — {len(problems)} problem(s):")
         for problem in problems:
             print(f"  {problem}")
         return 1
-    print(f"checked {count} markdown files — all intra-repo links resolve")
+    packages = ", ".join(repo_packages(root))
+    print(f"checked {count} markdown files — links, src/repro paths and "
+          f"BENCH artifacts all resolve; docs/api.md covers: {packages}")
     return 0
 
 

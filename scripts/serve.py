@@ -1,6 +1,6 @@
 """Serving CLI for the RNTrajRec recovery service (stdlib + repro only).
 
-Three subcommands:
+Four subcommands:
 
 ``train``    train a model on a registry dataset and save a serving bundle
              (checkpoint ``.npz`` + config ``.json``)::
@@ -29,15 +29,33 @@ Three subcommands:
              ``{"points": [[x, y], ...], "times": [...], "hour": 12,
              "holiday": false}``; ``GET /stats``; ``GET /healthz``.
 
+``cluster``  multi-city sharded serving behind one HTTP front door, driven
+             by a TOML/JSON shard-map file (see docs/cluster.md) or a
+             quick ``--datasets`` list (each city trains a small model at
+             startup)::
+
+                 PYTHONPATH=src python scripts/serve.py cluster \
+                     --shard-map cluster.toml --warm --port 8018
+                 PYTHONPATH=src python scripts/serve.py cluster \
+                     --datasets chengdu,porto --epochs 2 --port 8018
+
+             Endpoints: ``POST /recover`` (global-frame points; 422 when
+             no shard owns the trace, 429 when the owning shard sheds),
+             ``GET /stats`` (rolled-up), ``GET /healthz``,
+             ``GET /deadletters``, ``POST /swap`` ``{"shard", "model"}``,
+             and ``POST /register`` ``{"shard", "model", "bundle"}`` to
+             hot-deploy one city's new bundle without touching siblings.
+
 The road network is rebuilt deterministically from the dataset name, so a
-bundle trained with ``train`` always matches the network ``oneshot`` and
-``http`` reconstruct.
+bundle trained with ``train`` always matches the network ``oneshot``,
+``http`` and ``cluster`` reconstruct.
 """
 
 import argparse
 import json
 import sys
 import time
+from dataclasses import replace
 from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -46,6 +64,13 @@ REPO = Path(__file__).resolve().parent.parent
 if str(REPO / "src") not in sys.path:
     sys.path.insert(0, str(REPO / "src"))
 
+from repro.cluster import (  # noqa: E402
+    RecoveryCluster,
+    RouteError,
+    ShardOverloaded,
+    load_shard_map,
+    side_by_side,
+)
 from repro.core import RNTrajRec, Trainer  # noqa: E402
 from repro.datasets import get_spec, load_dataset  # noqa: E402
 from repro.experiments import quick_train_config, small_model_config  # noqa: E402
@@ -134,6 +159,29 @@ def run_oneshot(args) -> None:
         service.close()
 
 
+def _parse_request(payload: dict) -> RecoveryRequest:
+    return RecoveryRequest(
+        xy=payload["points"], times=payload["times"],
+        hour=int(payload.get("hour", 12)),
+        holiday=bool(payload.get("holiday", False)),
+        request_id=str(payload.get("request_id", "")),
+    )
+
+
+def _response_payload(response) -> dict:
+    return {
+        "request_id": response.request_id,
+        "segments": response.trajectory.segments.tolist(),
+        "ratios": [round(float(r), 6) for r in response.trajectory.ratios],
+        "times": response.trajectory.times.tolist(),
+        "cached": response.cached,
+        "latency_ms": round(response.latency_ms, 3),
+        "model": response.model,
+        "model_tag": response.model_tag,
+        "shard": response.shard,
+    }
+
+
 class _Handler(BaseHTTPRequestHandler):
     service: RecoveryService = None  # set by run_http
 
@@ -164,29 +212,141 @@ class _Handler(BaseHTTPRequestHandler):
             try:
                 length = int(self.headers.get("Content-Length", "0"))
                 payload = json.loads(self.rfile.read(length) or b"{}")
-                request = RecoveryRequest(
-                    xy=payload["points"], times=payload["times"],
-                    hour=int(payload.get("hour", 12)),
-                    holiday=bool(payload.get("holiday", False)),
-                    request_id=str(payload.get("request_id", "")),
-                )
+                request = _parse_request(payload)
             except (KeyError, TypeError, ValueError) as exc:
                 self._send(400, {"error": str(exc)})
                 return
             response = self.service.recover(request, timeout=300.0)
-            self._send(200, {
-                "request_id": response.request_id,
-                "segments": response.trajectory.segments.tolist(),
-                "ratios": [round(float(r), 6) for r in response.trajectory.ratios],
-                "times": response.trajectory.times.tolist(),
-                "cached": response.cached,
-                "latency_ms": round(response.latency_ms, 3),
-                "model": response.model,
-            })
+            self._send(200, _response_payload(response))
         except RequestError as exc:  # ingest rejected the trace
             self._send(400, {"error": str(exc)})
         except Exception as exc:  # timeouts / model faults are server errors
             self._send(500, {"error": str(exc)})
+
+
+class _ClusterHandler(BaseHTTPRequestHandler):
+    cluster: RecoveryCluster = None  # set by run_cluster
+
+    _send = _Handler._send
+
+    def log_message(self, fmt, *log_args):  # quiet default access log
+        pass
+
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            self._send(200, {"status": "ok", "shards": {
+                shard.name: {"materialized": shard.materialized}
+                for shard in self.cluster.shards}})
+        elif self.path == "/stats":
+            self._send(200, self.cluster.stats())
+        elif self.path == "/deadletters":
+            self._send(200, {"dead_letters": self.cluster.dead_letters()})
+        else:
+            self._send(404, {"error": f"unknown path {self.path}"})
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length", "0"))
+        return json.loads(self.rfile.read(length) or b"{}")
+
+    def do_POST(self) -> None:
+        try:
+            if self.path == "/recover":
+                try:
+                    request = _parse_request(self._body())
+                except (KeyError, TypeError, ValueError) as exc:
+                    self._send(400, {"error": str(exc)})
+                    return
+                response = self.cluster.recover(request, timeout=300.0)
+                self._send(200, _response_payload(response))
+            elif self.path in ("/swap", "/register"):
+                payload = self._body()
+                needed = ("shard", "model") if self.path == "/swap" else (
+                    "shard", "model", "bundle")
+                missing = [field for field in needed if field not in payload]
+                if missing:
+                    self._send(400, {"error": f"missing field(s) {missing}"})
+                    return
+                if self.path == "/swap":
+                    active = self.cluster.swap_model(str(payload["shard"]),
+                                                     str(payload["model"]))
+                else:
+                    active = self.cluster.deploy_model(
+                        str(payload["shard"]), str(payload["model"]),
+                        str(payload["bundle"]),
+                        activate=bool(payload.get("activate", True)))
+                self._send(200, {"shard": payload["shard"], **active})
+            else:
+                self._send(404, {"error": f"unknown path {self.path}"})
+        except RouteError as exc:  # no shard owns the trace
+            self._send(422, {"error": str(exc), "reason": exc.reason})
+        except ShardOverloaded as exc:  # bounded queues shed, HTTP-style 429
+            self._send(429, {"error": str(exc), "shard": exc.shard})
+        except RequestError as exc:
+            self._send(400, {"error": str(exc)})
+        except ValueError as exc:  # malformed input the parser let through
+            self._send(400, {"error": str(exc)})
+        except KeyError as exc:  # unknown shard/model name
+            self._send(404, {"error": str(exc)})
+        except Exception as exc:
+            self._send(500, {"error": str(exc)})
+
+
+def build_cluster(args) -> RecoveryCluster:
+    """A RecoveryCluster from ``--shard-map`` (every shard must name its
+    bundle — a missing one fails at warm-up instead of silently training
+    a throwaway model) or ``--datasets`` (quick-trains one small model
+    per city)."""
+    if args.shard_map:
+        shard_map = load_shard_map(args.shard_map)
+    elif args.datasets:
+        shard_map = side_by_side([name.strip() for name in
+                                  args.datasets.split(",") if name.strip()],
+                                 gap=args.gap)
+    else:
+        raise SystemExit("cluster needs --shard-map or --datasets")
+    # CLI scheduler/cache knobs are defaults; a shard-map [serve] section wins.
+    serve = dict(max_batch_size=args.max_batch_size,
+                 max_wait_ms=args.max_wait_ms,
+                 cache_capacity=args.cache_capacity)
+    serve.update(shard_map.serve)
+    shard_map = replace(shard_map, serve=serve)
+
+    def quick_train_factory(spec, network):
+        data = load_dataset(spec.dataset, num_trajectories=args.trajectories)
+        model = RNTrajRec(network, small_model_config(args.hidden))
+        print(f"[{spec.name}] training a quick model "
+              f"({model.num_parameters():,} parameters, {args.epochs} epochs)")
+        Trainer(model, quick_train_config(args.epochs)).fit(data.train)
+        return model.eval()
+
+    # Only the explicit --datasets mode trains in-process; a shard map is
+    # a production topology, where a bundle-less shard is a config error.
+    factory = quick_train_factory if args.datasets else None
+    return RecoveryCluster(shard_map, model_factory=factory)
+
+
+def run_cluster(args) -> None:
+    cluster = build_cluster(args)
+    names = cluster.shard_map.names()
+    if args.warm or args.datasets:
+        # Bundle-less shards train on first request otherwise — warming up
+        # front-loads that cost.  Bundle-backed maps can stay lazy.
+        for name in names:
+            print(f"warming shard {name!r} ...")
+            cluster.warm([name])
+    _ClusterHandler.cluster = cluster
+    server = ThreadingHTTPServer((args.host, args.port), _ClusterHandler)
+    print(f"Serving {len(names)} shard(s) {names} on "
+          f"http://{args.host}:{args.port} (POST /recover /swap /register, "
+          "GET /stats /healthz /deadletters); Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        cluster.close()
+        print(json.dumps(cluster.stats()["cluster"], indent=1))
 
 
 def run_http(args) -> None:
@@ -234,11 +394,32 @@ def main(argv=None) -> None:
             p.add_argument("--host", default="127.0.0.1")
             p.add_argument("--port", type=int, default=8008)
 
+    c = sub.add_parser("cluster", help="sharded multi-city HTTP front door")
+    c.add_argument("--shard-map", default=None,
+                   help="TOML/JSON shard-map file (see docs/cluster.md)")
+    c.add_argument("--datasets", default=None,
+                   help="comma-separated dataset names laid out side by side "
+                        "(quick-trains one model per city)")
+    c.add_argument("--gap", type=float, default=500.0,
+                   help="corridor between cities in --datasets mode (meters)")
+    c.add_argument("--trajectories", type=int, default=160)
+    c.add_argument("--hidden", type=int, default=32)
+    c.add_argument("--epochs", type=int, default=5)
+    c.add_argument("--max-batch-size", type=int, default=16)
+    c.add_argument("--max-wait-ms", type=float, default=20.0)
+    c.add_argument("--cache-capacity", type=int, default=1024)
+    c.add_argument("--warm", action="store_true",
+                   help="materialize every shard before accepting traffic")
+    c.add_argument("--host", default="127.0.0.1")
+    c.add_argument("--port", type=int, default=8018)
+
     args = parser.parse_args(argv)
     if args.command == "train":
         train_bundle(args)
     elif args.command == "oneshot":
         run_oneshot(args)
+    elif args.command == "cluster":
+        run_cluster(args)
     else:
         run_http(args)
 

@@ -18,7 +18,12 @@ This package reimplements the complete system in pure numpy:
   the cached experiment harness behind every benchmark;
 * :mod:`repro.serve` — online serving: :class:`~repro.serve.RecoveryService`
   with micro-batching, a hot-swappable model registry, request-level
-  caching and telemetry (see ``scripts/serve.py``).
+  caching and telemetry (see ``scripts/serve.py``);
+* :mod:`repro.cluster` — sharded multi-city serving: a grid-backed router
+  over many per-city services with lazy warm-up, bounded-queue load
+  shedding, rolled-up telemetry and per-shard hot swap;
+* :mod:`repro.profile` — wall-clock section/counter registry the hot
+  paths report to.
 
 Quickstart::
 

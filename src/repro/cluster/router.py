@@ -1,0 +1,128 @@
+"""Trace → shard routing over a coarse spatial grid.
+
+The router answers one question per request: *which shard owns every fix
+of this trace?*  It reuses :class:`repro.geo.grid.Grid` as the spatial
+key: a coarse grid over the union of all shard bounding boxes, with each
+cell pre-assigned to the shard whose bbox contains its center.  Routing a
+trace is then one vectorized cell lookup; the candidate answer is
+confirmed with an exact bbox containment check so boundary cells (whose
+centers may sit on the wrong side of a shard edge) can never misroute.
+
+Traces the grid cannot place are classified exactly:
+
+* ``outside``  — at least one fix lies in no shard's bbox;
+* ``straddle`` — every fix is covered, but by more than one shard (the
+  trace crosses a shard boundary; a single recovery request cannot span
+  two road networks).
+
+Both raise :class:`RouteError`; the cluster turns them into dead-letter
+entries instead of serving a wrong-city recovery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.grid import Grid
+from .shardmap import BBox
+
+
+class RouteError(ValueError):
+    """A trace no single shard can own. ``reason`` ∈ {outside, straddle}."""
+
+    def __init__(self, reason: str, detail: str) -> None:
+        super().__init__(f"unroutable trace ({reason}): {detail}")
+        self.reason = reason
+        self.detail = detail
+
+
+#: Upper bound on router grid cells — the owner array covers the UNION of
+#: all shard bboxes, so far-apart cities (e.g. real projected coordinates
+#: megameters apart) would otherwise allocate area-proportional memory.
+#: Beyond the cap the cell size auto-coarsens; routing stays exact because
+#: the grid is only a fast path confirmed by precise bbox containment.
+MAX_GRID_CELLS = 1 << 18
+
+
+class ShardRouter:
+    """Maps traces to shard indices by bounding box via a coarse grid."""
+
+    def __init__(self, boxes: Sequence[BBox], cell_size: float = 200.0) -> None:
+        if not boxes:
+            raise ValueError("router needs at least one shard bbox")
+        self.boxes = [tuple(float(v) for v in box) for box in boxes]
+        arr = np.asarray(self.boxes, dtype=np.float64)  # (n, 4)
+        self._x0, self._y0 = arr[:, 0], arr[:, 1]
+        self._x1, self._y1 = arr[:, 2], arr[:, 3]
+
+        x0, y0 = float(arr[:, 0].min()), float(arr[:, 1].min())
+        x1, y1 = float(arr[:, 2].max()), float(arr[:, 3].max())
+        cell = float(cell_size)
+        while (max(1, np.ceil((x1 - x0) / cell))
+               * max(1, np.ceil((y1 - y0) / cell))) > MAX_GRID_CELLS:
+            cell *= 2.0
+        self.grid = Grid(x0=x0, y0=y0, x1=x1, y1=y1, cell_size=cell)
+        # Cell → owning shard (or -1).  Centers are unambiguous because
+        # shard boxes are disjoint (ShardMap enforces it); cells straddling
+        # a bbox edge get the shard of their center and are re-checked
+        # exactly at route time.
+        rows, cols = np.meshgrid(np.arange(self.grid.rows),
+                                 np.arange(self.grid.cols), indexing="ij")
+        cx = self.grid.x0 + (cols.ravel() + 0.5) * self.grid.cell_size
+        cy = self.grid.y0 + (rows.ravel() + 0.5) * self.grid.cell_size
+        inside = self._containment(cx, cy)           # (n_shards, n_cells)
+        owner = np.where(inside.any(axis=0), inside.argmax(axis=0), -1)
+        self._owner = owner.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def _containment(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """(n_shards, n_points) exact bbox membership (edges inclusive)."""
+        return ((x >= self._x0[:, None]) & (x <= self._x1[:, None])
+                & (y >= self._y0[:, None]) & (y <= self._y1[:, None]))
+
+    def shard_of_points(self, xy: np.ndarray) -> int:
+        """The single shard index owning every point, else RouteError."""
+        xy = np.asarray(xy, dtype=np.float64)
+        if xy.ndim != 2 or xy.shape[1] != 2 or len(xy) == 0:
+            raise ValueError(f"expected (n, 2) points, got shape {xy.shape}")
+        x, y = xy[:, 0], xy[:, 1]
+
+        # Fast path: one vectorized cell lookup.  Points outside the union
+        # rectangle clamp onto border cells, so guard with the union bounds.
+        in_union = ((x >= self.grid.x0) & (x <= self.grid.x1)
+                    & (y >= self.grid.y0) & (y <= self.grid.y1))
+        if bool(in_union.all()):
+            owners = self._owner[self.grid.flat_cell_of(x, y)]
+            candidate = int(owners[0])
+            if candidate >= 0 and bool((owners == candidate).all()):
+                inside = self._containment(x, y)[candidate]
+                if bool(inside.all()):  # confirm: cell centers approximate
+                    return candidate
+
+        # Slow path (boundary cells, rejections): exact containment per
+        # shard, also used to classify the failure reason precisely.
+        inside = self._containment(x, y)             # (n_shards, n_points)
+        full = np.flatnonzero(inside.all(axis=1))
+        if len(full) == 1:
+            return int(full[0])
+        covered = inside.any(axis=0)
+        if not bool(covered.all()):
+            missing = np.flatnonzero(~covered)
+            fix = xy[missing[0]]
+            raise RouteError(
+                "outside",
+                f"{len(missing)}/{len(xy)} fixes outside every shard "
+                f"(first: ({fix[0]:.1f}, {fix[1]:.1f}))",
+            )
+        touched = sorted(int(i) for i in np.flatnonzero(inside.any(axis=1)))
+        raise RouteError(
+            "straddle",
+            f"trace spans shards {touched}; recovery cannot cross shard "
+            "boundaries",
+        )
+
+    def coverage(self) -> Tuple[int, int]:
+        """(cells owned by some shard, total cells) — telemetry/debugging."""
+        return int((self._owner >= 0).sum()), int(self._owner.size)

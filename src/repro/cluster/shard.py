@@ -1,0 +1,315 @@
+"""One shard: a city's recovery stack behind admission control.
+
+A :class:`Shard` owns everything needed to serve one region: the road
+network, a shared :class:`~repro.serve.ModelRegistry` (so a hot swap
+reaches every replica at once), and N :class:`~repro.serve.RecoveryService`
+replicas drained round-robin.  Two cluster-level concerns live here
+because a single service cannot express them:
+
+* **Lazy warm-up** — a shard starts *spec-only*: routing works against
+  its declared bbox immediately, but the network, registry and replicas
+  materialize on the first routed request (or an explicit ``warm()``).
+  A 30-city map doesn't pay 30 city builds at boot.
+* **Backpressure** — each replica admits at most ``max_inflight``
+  outstanding requests.  When every replica is saturated the shard sheds
+  the request with :class:`ShardOverloaded` (the HTTP layer maps it to
+  429) instead of queueing unboundedly.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..core.model import RNTrajRec
+from ..datasets.registry import get_spec
+from ..roadnet.generator import generate_city
+from ..roadnet.network import RoadNetwork
+from ..serve.registry import ModelRegistry
+from ..serve.request import RecoveryRequest, RecoveryResponse
+from ..serve.service import RecoveryService, ServeConfig
+from ..serve.telemetry import ServingTelemetry
+from .shardmap import ShardSpec
+
+#: model_factory(spec, network) -> eval-mode RNTrajRec (bundle-less shards)
+ModelFactory = Callable[[ShardSpec, RoadNetwork], RNTrajRec]
+#: network_factory(spec) -> RoadNetwork (shards with dataset=None)
+NetworkFactory = Callable[[ShardSpec], RoadNetwork]
+
+
+class ShardOverloaded(RuntimeError):
+    """Every replica of a shard is at its in-flight admission bound."""
+
+    def __init__(self, shard: str, limit: int, replicas: int) -> None:
+        super().__init__(
+            f"shard {shard!r} overloaded: {replicas} replica(s) at "
+            f"max_inflight={limit}; request shed")
+        self.shard = shard
+        self.limit = limit
+        self.replicas = replicas
+
+
+def _default_network_factory(spec: ShardSpec) -> RoadNetwork:
+    if spec.dataset is None:
+        raise ValueError(
+            f"shard {spec.name!r} has no dataset; pass a network_factory")
+    return generate_city(get_spec(spec.dataset).city)
+
+
+class Shard:
+    """A lazily materialized, admission-controlled per-city recovery stack."""
+
+    def __init__(self, spec: ShardSpec,
+                 model_factory: Optional[ModelFactory] = None,
+                 network_factory: Optional[NetworkFactory] = None,
+                 serve_overrides: Optional[Dict[str, Any]] = None) -> None:
+        self.spec = spec
+        self._model_factory = model_factory
+        self._network_factory = network_factory or _default_network_factory
+        self._serve_overrides = dict(serve_overrides or {})
+        self._lock = threading.RLock()
+        # Serializes deploy/swap sequences (register → activate → evict)
+        # without blocking request admission, which only needs _lock.
+        self._deploy_lock = threading.Lock()
+        self._network: Optional[RoadNetwork] = None
+        self._registry: Optional[ModelRegistry] = None
+        self._services: Optional[List[RecoveryService]] = None
+        self._inflight: List[int] = [0] * spec.replicas
+        self._rr = 0
+        self.shed_count = 0
+        self.deploy_count = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def materialized(self) -> bool:
+        with self._lock:
+            return self._services is not None
+
+    @property
+    def network(self) -> RoadNetwork:
+        self.warm()
+        return self._network
+
+    @property
+    def registry(self) -> ModelRegistry:
+        self.warm()
+        return self._registry
+
+    def serve_config(self) -> ServeConfig:
+        """Ingest/batching config: dataset-derived where possible, so the
+        serving constraint masks match what the shard's model trained with."""
+        if self.spec.dataset is not None:
+            return ServeConfig.for_spec(get_spec(self.spec.dataset),
+                                        **self._serve_overrides)
+        return ServeConfig(**self._serve_overrides)
+
+    def warm(self) -> "Shard":
+        """Materialize network, registry and replicas (idempotent).
+
+        The first caller pays the build; concurrent callers block on the
+        lock until the shard is ready — by construction a request is never
+        half-served by a partially built shard.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(f"shard {self.name!r} is closed")
+            if self._services is not None:
+                return self
+            network = self._network_factory(self.spec)
+            registry = ModelRegistry(network)
+            if self.spec.bundle is not None:
+                registry.register("default", self.spec.bundle, activate=True)
+                registry.load("default")  # fail fast on a bad bundle
+            elif self._model_factory is not None:
+                model = self._model_factory(self.spec, network)
+                model.eval()
+                registry.add_loaded("default", model, activate=True)
+            else:
+                raise ValueError(
+                    f"shard {self.name!r} has neither a bundle nor a "
+                    "model_factory; nothing to serve")
+            config = self.serve_config()
+            self._network = network
+            self._registry = registry
+            self._services = [RecoveryService(registry, config, shard=self.name)
+                              for _ in range(self.spec.replicas)]
+            return self
+
+    # ------------------------------------------------------------------
+    def localize(self, request: RecoveryRequest) -> RecoveryRequest:
+        """The request translated from the global frame into this city's
+        local frame (shard origin ↦ the network's own coordinates)."""
+        ox, oy = self.spec.origin
+        if ox == 0.0 and oy == 0.0:
+            return request
+        return RecoveryRequest(
+            xy=request.xy - np.array([ox, oy]), times=request.times,
+            hour=request.hour, holiday=request.holiday,
+            request_id=request.request_id,
+        )
+
+    def submit(self, request: RecoveryRequest) -> "Future[RecoveryResponse]":
+        """Admit onto the least-recently-used non-saturated replica, or
+        shed with :class:`ShardOverloaded`; ``request`` is global-frame."""
+        self.warm()
+        with self._lock:
+            replica = self._pick_replica()
+            if replica is None:
+                self.shed_count += 1
+                raise ShardOverloaded(self.name, self.spec.max_inflight,
+                                      self.spec.replicas)
+            self._inflight[replica] += 1
+            service = self._services[replica]
+
+        def _release(_: Future) -> None:
+            with self._lock:
+                self._inflight[replica] -= 1
+
+        try:
+            future = service.submit(self.localize(request))
+        except Exception:
+            _release(None)
+            raise
+        future.add_done_callback(_release)
+        return future
+
+    def _pick_replica(self) -> Optional[int]:
+        """Round-robin over replicas with admission headroom (lock held)."""
+        n = self.spec.replicas
+        for step in range(n):
+            candidate = (self._rr + step) % n
+            if self._inflight[candidate] < self.spec.max_inflight:
+                self._rr = (candidate + 1) % n
+                return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # Operations surface
+    # ------------------------------------------------------------------
+    def deploy(self, name: str, model_or_prefix, activate: bool = True) -> None:
+        """Register a new model generation on this shard — a bundle prefix
+        (str) or an in-memory eval model — optionally activating it.  All
+        replicas share the registry, so one deploy reaches every replica;
+        sibling shards are untouched.
+
+        On activation, loaded generations other than the new one and its
+        immediate predecessor are evicted, so a long-running shard under
+        rolling deploys holds at most two resident models (the previous
+        one stays warm for instant rollback; bundle-backed names beyond
+        that reload lazily from disk).  In-flight batches keep their own
+        model references and finish unharmed.
+        """
+        self.warm()
+        with self._deploy_lock:
+            # Serialized with other deploys/swaps: a concurrent deploy
+            # could otherwise evict this not-yet-active registration (or
+            # crash evicting a freshly activated one).
+            previous = self._registry.active_name
+            if isinstance(model_or_prefix, str):
+                self._registry.register(name, model_or_prefix, activate=False)
+            else:
+                model_or_prefix.eval()
+                self._registry.add_loaded(name, model_or_prefix, activate=False)
+            if activate:
+                self._registry.activate(name)
+                for stale in self._registry.names():
+                    if stale not in (name, previous):
+                        self._registry.evict(stale)
+        with self._lock:
+            self.deploy_count += 1
+
+    def swap(self, name: str) -> None:
+        """Hot-swap this shard's active model; in-flight work finishes on
+        the old generation (see ``RecoveryService.swap_model``)."""
+        self.warm()
+        with self._deploy_lock:
+            self._registry.activate(name)
+
+    def active_model(self) -> Dict[str, str]:
+        """{"model": active name, "model_tag": generation tag} (warm only)."""
+        if not self.materialized:
+            return {"model": "", "model_tag": ""}
+        name, tag, _ = self._registry.active_ref()
+        return {"model": name, "model_tag": tag}
+
+    # ------------------------------------------------------------------
+    def stats(self, latencies: Optional[List[float]] = None) -> Dict[str, Any]:
+        """Shard gauge snapshot plus rolled-up replica serving stats.
+
+        ``latencies`` lets a caller that already snapshotted the replica
+        reservoirs (the cluster rollup, which needs them for its own
+        cross-shard percentiles) pass them in instead of copying every
+        reservoir a second time.
+        """
+        with self._lock:
+            payload: Dict[str, Any] = {
+                "materialized": self._services is not None,
+                "replicas": self.spec.replicas,
+                "max_inflight": self.spec.max_inflight,
+                "inflight": sum(self._inflight),
+                "shed": self.shed_count,
+                "deploys": self.deploy_count,
+            }
+            services = list(self._services or ())
+        if not services:
+            return payload
+
+        payload.update(self.active_model())
+        if latencies is None:
+            latencies = []
+            for service in services:
+                latencies.extend(service.telemetry.latencies())
+        else:
+            latencies = list(latencies)
+        requests = cache_hits = errors = 0
+        by_model: Dict[str, int] = {}
+        replica_stats = []
+        for service in services:
+            stats = service.stats()
+            replica_stats.append(stats)
+            requests += stats["requests"]
+            cache_hits += stats["cache_hits"]
+            errors += stats["errors"]
+            for tag, count in stats["requests_by_model"].items():
+                by_model[tag] = by_model.get(tag, 0) + count
+        latencies.sort()
+        payload.update({
+            "requests": requests,
+            "cache_hits": cache_hits,
+            "cache_hit_rate": round(cache_hits / requests, 4) if requests else 0.0,
+            "errors": errors,
+            "requests_by_model": dict(sorted(by_model.items())),
+            "latency_ms_p50": round(
+                1000.0 * ServingTelemetry._percentile(latencies, 0.50), 3),
+            "latency_ms_p99": round(
+                1000.0 * ServingTelemetry._percentile(latencies, 0.99), 3),
+            "replica_stats": replica_stats,
+        })
+        return payload
+
+    def latencies(self) -> List[float]:
+        """All replicas' latency observations (seconds), for cluster rollup."""
+        with self._lock:
+            services = list(self._services or ())
+        out: List[float] = []
+        for service in services:
+            out.extend(service.telemetry.latencies())
+        return out
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            services = list(self._services or ())
+        for service in services:
+            service.close()

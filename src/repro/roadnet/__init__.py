@@ -1,12 +1,13 @@
 """Road network substrate: model, synthetic generator, shortest paths."""
 
 from .generator import CityConfig, generate_city
-from .network import NUM_ROAD_LEVELS, RoadNetwork, RoadSegment
+from .network import NUM_ROAD_LEVELS, RoadNetwork, RoadSegment, merge_networks
 from .shortest_path import ShortestPathEngine
 
 __all__ = [
     "CityConfig",
     "generate_city",
+    "merge_networks",
     "NUM_ROAD_LEVELS",
     "RoadNetwork",
     "RoadSegment",

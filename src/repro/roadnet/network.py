@@ -285,3 +285,37 @@ class RoadNetwork:
             if a in mapping and b in mapping
         ]
         return RoadNetwork(segments, edges), mapping
+
+
+def merge_networks(networks: Sequence[RoadNetwork],
+                   origins: Optional[Sequence[Tuple[float, float]]] = None,
+                   ) -> RoadNetwork:
+    """One network containing every input network, each translated to its
+    origin.
+
+    The result is the *monolithic* alternative to per-region sharding: one
+    graph spanning all regions, segment ids renumbered region by region in
+    input order, with no inter-region edges (the regions are disjoint road
+    systems).  ``benchmarks/bench_cluster.py`` uses it as the single-shard
+    baseline a ``repro.cluster`` deployment is measured against.
+    """
+    if not networks:
+        raise ValueError("merge_networks needs at least one network")
+    if origins is None:
+        origins = [(0.0, 0.0)] * len(networks)
+    if len(origins) != len(networks):
+        raise ValueError(f"{len(networks)} networks but {len(origins)} origins")
+
+    segments: List[RoadSegment] = []
+    edges: List[Tuple[int, int]] = []
+    offset = 0
+    for network, (ox, oy) in zip(networks, origins):
+        shift = np.array([float(ox), float(oy)])
+        for segment in network.segments:
+            segments.append(RoadSegment(
+                offset + segment.segment_id, segment.polyline + shift,
+                level=segment.level, elevated=segment.elevated,
+            ))
+        edges.extend((a + offset, b + offset) for a, b in network.edges)
+        offset += network.num_segments
+    return RoadNetwork(segments, edges)

@@ -148,6 +148,20 @@ class ModelRegistry:
                         and self._generations.get(name, 0) == generation):
                     return name, f"{name}#{generation}", model
 
+    def evict(self, name: str) -> None:
+        """Drop ``name``'s loaded model (in-flight batches keep their own
+        reference, so they finish unharmed).  A bundle-backed name stays
+        registered and lazily reloads from disk on next use; an in-memory
+        name (``add_loaded``) is gone for good.  The active model cannot
+        be evicted."""
+        with self._lock:
+            if name == self._active:
+                raise ValueError(f"cannot evict the active model {name!r}")
+            self._loaded.pop(name, None)
+            # The generation counter survives eviction on purpose: if the
+            # name is ever re-registered, its tag must not collide with
+            # cache entries produced by the evicted generation.
+
     def names(self):
         with self._lock:
             return sorted(set(self._prefixes) | set(self._loaded))

@@ -66,13 +66,23 @@ class RecoveryRequest:
 
 @dataclass(frozen=True)
 class RecoveryResponse:
-    """The recovered ε_ρ trajectory plus per-request serving metadata."""
+    """The recovered ε_ρ trajectory plus per-request serving metadata.
+
+    ``model`` is the registry name that served the request; ``model_tag``
+    is its generation tag (``name#generation``), which distinguishes
+    successive checkpoints hot-swapped under the same name — a cluster
+    operator rolling out a new model can watch the tag flip per shard.
+    ``shard`` is the serving shard's label (empty for a standalone
+    service).
+    """
 
     request_id: str
     trajectory: MatchedTrajectory
     cached: bool
     latency_ms: float
     model: str = ""
+    model_tag: str = ""
+    shard: str = ""
 
 
 @dataclass(frozen=True)

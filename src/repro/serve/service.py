@@ -91,9 +91,11 @@ class RecoveryService:
     """Online recovery over a :class:`ModelRegistry`."""
 
     def __init__(self, registry: ModelRegistry,
-                 config: Optional[ServeConfig] = None) -> None:
+                 config: Optional[ServeConfig] = None,
+                 shard: str = "") -> None:
         self.registry = registry
         self.config = config or ServeConfig()
+        self.shard = shard  # cluster shard label; stamped on every response
         self.telemetry = ServingTelemetry()
         self.cache = LRUCache(self.config.cache_capacity)
         # Work items are (sample, model_tag, model): the model is resolved
@@ -115,20 +117,20 @@ class RecoveryService:
     def from_checkpoint(cls, prefix: str, network: RoadNetwork,
                         config: Optional[ServeConfig] = None,
                         model_config: Optional[RNTrajRecConfig] = None,
-                        name: str = "default") -> "RecoveryService":
+                        name: str = "default", shard: str = "") -> "RecoveryService":
         """A service over a single saved bundle (see ``save_model_bundle``)."""
         registry = ModelRegistry(network, default_config=model_config)
         registry.register(name, prefix, activate=True)
         registry.load(name)  # fail fast and warm the pinned structures
-        return cls(registry, config)
+        return cls(registry, config, shard=shard)
 
     @classmethod
     def from_model(cls, model: RNTrajRec, config: Optional[ServeConfig] = None,
-                   name: str = "default") -> "RecoveryService":
+                   name: str = "default", shard: str = "") -> "RecoveryService":
         """A service over an in-memory model (tests, notebooks)."""
         registry = ModelRegistry(model.network, default_config=model.config)
         registry.add_loaded(name, model, activate=True)
-        return cls(registry, config)
+        return cls(registry, config, shard=shard)
 
     # ------------------------------------------------------------------
     # Request surface
@@ -174,10 +176,12 @@ class RecoveryService:
             trajectory = MatchedTrajectory(
                 cached.segments.copy(), cached.ratios.copy(), cached.times + shift)
             latency = time.perf_counter() - start
-            self.telemetry.record_request(latency, cache_hit=True)
+            self.telemetry.record_request(latency, cache_hit=True,
+                                          model_tag=model_tag)
             outer.set_result(RecoveryResponse(
                 request_id=request.request_id, trajectory=trajectory,
                 cached=True, latency_ms=1000.0 * latency, model=model_name,
+                model_tag=model_tag, shard=self.shard,
             ))
             return outer
 
@@ -204,10 +208,12 @@ class RecoveryService:
             self.cache.put(key, MatchedTrajectory(
                 trajectory.segments.copy(), trajectory.ratios.copy(),
                 trajectory.times.copy()))
-            self.telemetry.record_request(latency, cache_hit=False)
+            self.telemetry.record_request(latency, cache_hit=False,
+                                          model_tag=model_tag)
             outer.set_result(RecoveryResponse(
                 request_id=request.request_id, trajectory=trajectory,
                 cached=False, latency_ms=1000.0 * latency, model=model_name,
+                model_tag=model_tag, shard=self.shard,
             ))
 
         inner.add_done_callback(_complete)
@@ -236,6 +242,7 @@ class RecoveryService:
         """Telemetry snapshot plus cache/scheduler/registry gauges."""
         payload = self.telemetry.stats()
         payload.update({
+            "shard": self.shard,
             "cache_size": len(self.cache),
             "cache_capacity": self.cache.capacity,
             "pending": self._batcher.pending,

@@ -12,7 +12,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict
+from typing import Deque, Dict, List
 
 
 class ServingTelemetry:
@@ -28,13 +28,21 @@ class ServingTelemetry:
         self.batches = 0
         self.batched_requests = 0
         self.max_batch_occupancy = 0
+        # Requests served per model generation tag ("name#generation") —
+        # makes hot swaps observable: after a swap the new tag's count
+        # starts climbing while the old one freezes.
+        self.requests_by_model: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
-    def record_request(self, latency_seconds: float, cache_hit: bool) -> None:
+    def record_request(self, latency_seconds: float, cache_hit: bool,
+                       model_tag: str = "") -> None:
         with self._lock:
             self.requests += 1
             if cache_hit:
                 self.cache_hits += 1
+            if model_tag:
+                self.requests_by_model[model_tag] = (
+                    self.requests_by_model.get(model_tag, 0) + 1)
             self._latencies.append(latency_seconds)
 
     def record_error(self) -> None:
@@ -48,6 +56,13 @@ class ServingTelemetry:
             self.max_batch_occupancy = max(self.max_batch_occupancy, occupancy)
 
     # ------------------------------------------------------------------
+    def latencies(self) -> List[float]:
+        """Snapshot of the latency reservoir (seconds) — lets a cluster
+        roll true percentiles up across replicas instead of averaging
+        per-replica percentiles."""
+        with self._lock:
+            return list(self._latencies)
+
     @staticmethod
     def _percentile(sorted_values, fraction: float) -> float:
         if not sorted_values:
@@ -74,4 +89,5 @@ class ServingTelemetry:
                 "batches": self.batches,
                 "mean_batch_occupancy": round(mean_occupancy, 3),
                 "max_batch_occupancy": self.max_batch_occupancy,
+                "requests_by_model": dict(sorted(self.requests_by_model.items())),
             }

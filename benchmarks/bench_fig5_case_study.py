@@ -10,7 +10,8 @@ same artifact interactively.
 import numpy as np
 import pytest
 
-from repro.core import RNTrajRec, RNTrajRecConfig, TrainConfig, Trainer
+from repro.core import RNTrajRec, RNTrajRecConfig
+from repro.train import TrainConfig, Trainer
 from repro.baselines import build_baseline
 from repro.eval.metrics import elevated_window, f1_score, path_precision_recall
 from repro.experiments import get_dataset

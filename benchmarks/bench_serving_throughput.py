@@ -23,7 +23,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.core import RNTrajRec, Trainer
+from repro.core import RNTrajRec
+from repro.train import Trainer
 from repro.experiments import bench_budget, get_dataset, quick_train_config, small_model_config
 from repro.serve import RecoveryRequest, RecoveryService, ServeConfig
 

@@ -16,7 +16,8 @@ import json
 import numpy as np
 
 from repro.baselines import build_baseline
-from repro.core import RNTrajRec, RNTrajRecConfig, TrainConfig, Trainer
+from repro.core import RNTrajRec, RNTrajRecConfig
+from repro.train import TrainConfig, Trainer
 from repro.datasets import load_dataset
 from repro.eval.metrics import elevated_window, f1_score, path_precision_recall
 from repro.trajectory import make_batch

@@ -28,7 +28,8 @@ import time
 import numpy as np
 
 from repro.cluster import RecoveryCluster, ShardMap, ShardSpec, side_by_side
-from repro.core import RNTrajRec, Trainer
+from repro.core import RNTrajRec
+from repro.train import Trainer
 from repro.datasets import load_dataset
 from repro.experiments import quick_train_config, small_model_config
 from repro.serve import RecoveryRequest

@@ -11,7 +11,8 @@ side by side.  Use a larger trajectory/epoch budget to sharpen the gaps
 import sys
 
 from repro.baselines import build_baseline
-from repro.core import RNTrajRec, RNTrajRecConfig, TrainConfig, Trainer
+from repro.core import RNTrajRec, RNTrajRecConfig
+from repro.train import TrainConfig, Trainer
 from repro.datasets import load_dataset
 from repro.eval import evaluate_model
 from repro.experiments import get_engine

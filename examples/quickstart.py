@@ -12,10 +12,11 @@ Steps
 3. Recover the test trajectories and report the paper's metrics.
 """
 
-from repro.core import RNTrajRec, RNTrajRecConfig, TrainConfig, Trainer
+from repro.core import RNTrajRec, RNTrajRecConfig
 from repro.datasets import load_dataset
 from repro.eval import evaluate_model
 from repro.experiments import get_engine
+from repro.train import TrainConfig, Trainer
 
 
 def main() -> None:

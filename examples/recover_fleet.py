@@ -17,7 +17,8 @@ from collections import Counter
 
 import numpy as np
 
-from repro.core import RNTrajRec, RNTrajRecConfig, TrainConfig, Trainer
+from repro.core import RNTrajRec, RNTrajRecConfig
+from repro.train import TrainConfig, Trainer
 from repro.datasets import load_dataset
 from repro.eval.metrics import f1_score, path_precision_recall
 from repro.trajectory import iterate_batches

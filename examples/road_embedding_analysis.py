@@ -15,7 +15,8 @@ to road-network-aware representations:
 
 import numpy as np
 
-from repro.core import RNTrajRec, RNTrajRecConfig, TrainConfig, Trainer
+from repro.core import RNTrajRec, RNTrajRecConfig
+from repro.train import TrainConfig, Trainer
 from repro.datasets import load_dataset
 
 

@@ -24,7 +24,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core import RNTrajRec, Trainer
+from repro.core import RNTrajRec
+from repro.train import Trainer
 from repro.datasets import load_dataset
 from repro.experiments import quick_train_config, small_model_config
 from repro.serve import RecoveryRequest, RecoveryService, ServeConfig, save_model_bundle

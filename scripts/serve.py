@@ -2,11 +2,21 @@
 
 Four subcommands:
 
-``train``    train a model on a registry dataset and save a serving bundle
-             (checkpoint ``.npz`` + config ``.json``)::
+``train``    train a model on a registry dataset and save a versioned
+             serving bundle (checkpoint ``.npz`` + config ``.json`` with a
+             ``train`` provenance section)::
 
                  PYTHONPATH=src python scripts/serve.py train \
                      --dataset chengdu --epochs 5 --out runs/chengdu_model
+
+             Production knobs (see docs/training.md): ``--workers 4``
+             shards each batch across gradient workers, ``--schedule
+             cosine --warmup-epochs 2`` picks the LR schedule,
+             ``--resume runs/chengdu_state`` checkpoints every epoch into
+             a resumable train-state archive (and resumes from it when it
+             already exists).  ``--register http://host:port --shard
+             chengdu`` completes the train→deploy path by hot-deploying
+             the fresh bundle into a running ``cluster`` front door.
 
 ``oneshot``  start a service from a bundle (training a quick model first if
              no bundle is given), replay test-split traces as concurrent
@@ -71,7 +81,7 @@ from repro.cluster import (  # noqa: E402
     load_shard_map,
     side_by_side,
 )
-from repro.core import RNTrajRec, Trainer  # noqa: E402
+from repro.core import RNTrajRec  # noqa: E402
 from repro.datasets import get_spec, load_dataset  # noqa: E402
 from repro.experiments import quick_train_config, small_model_config  # noqa: E402
 from repro.roadnet import generate_city  # noqa: E402
@@ -80,18 +90,41 @@ from repro.serve import (  # noqa: E402
     RecoveryService,
     RequestError,
     ServeConfig,
-    save_model_bundle,
+)
+from repro.train import (  # noqa: E402
+    Trainer,
+    enable_console_logging,
+    fit_and_bundle,
+    register_bundle,
 )
 
 
 def train_bundle(args) -> str:
+    enable_console_logging()  # epoch records from the quiet-by-default trainer
     data = load_dataset(args.dataset, num_trajectories=args.trajectories)
     model = RNTrajRec(data.network, small_model_config(args.hidden))
+    train_config = quick_train_config(
+        args.epochs, schedule=args.schedule, warmup_epochs=args.warmup_epochs,
+        validate=bool(data.val), log_every=args.log_every)
+    mode = (f"{args.workers} gradient workers" if args.workers > 1 else "serial")
     print(f"Training {args.dataset} model ({model.num_parameters():,} parameters, "
-          f"{args.epochs} epochs) ...")
-    Trainer(model, quick_train_config(args.epochs)).fit(data.train)
-    ckpt, config = save_model_bundle(model, args.out)
-    print(f"Saved bundle: {ckpt} + {config}")
+          f"{args.epochs} epochs, {args.schedule} schedule, {mode}) ...")
+    report = fit_and_bundle(
+        model, data.train, args.out, val_samples=data.val, config=train_config,
+        num_workers=args.workers, checkpoint=args.resume,
+        metadata={"dataset": args.dataset})
+    print(f"Saved bundle: {report.checkpoint_path} + {report.config_path} "
+          f"(version {report.version})")
+    if args.resume:
+        print(f"Train state checkpointed to {args.resume} (re-run resumes there)")
+    if args.register:
+        shard = args.shard or args.dataset
+        name = args.model_name or f"{args.dataset}-{report.version}"
+        bundle = str(Path(args.out).resolve())
+        print(f"Registering bundle on {args.register} "
+              f"(shard {shard!r}, model {name!r}) ...")
+        active = register_bundle(args.register, shard, name, bundle)
+        print(f"Cluster now serves: {active}")
     return args.out
 
 
@@ -379,6 +412,22 @@ def main(argv=None) -> None:
     t = sub.add_parser("train", help="train a model and save a serving bundle")
     common(t)
     t.add_argument("--out", required=True, help="bundle prefix (writes .npz + .json)")
+    t.add_argument("--workers", type=int, default=0,
+                   help="gradient workers (>1 shards each batch; 0/1 serial)")
+    t.add_argument("--schedule", default="constant",
+                   choices=("constant", "warmup", "step", "cosine"))
+    t.add_argument("--warmup-epochs", type=int, default=0)
+    t.add_argument("--resume", default=None, metavar="STATE",
+                   help="train-state archive: checkpoint every epoch, resume "
+                        "from it when it already exists")
+    t.add_argument("--log-every", type=int, default=0,
+                   help="log a step record every N steps (0 = epochs only)")
+    t.add_argument("--register", default=None, metavar="URL",
+                   help="running cluster front door to hot-deploy the bundle to")
+    t.add_argument("--shard", default=None,
+                   help="target shard name for --register (default: dataset)")
+    t.add_argument("--model-name", default=None,
+                   help="registered model name (default: dataset-<version>)")
 
     for name, help_text in (("oneshot", "replay held-out traces as requests"),
                             ("http", "serve a stdlib HTTP JSON API")):

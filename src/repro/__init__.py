@@ -10,7 +10,12 @@ This package reimplements the complete system in pure numpy:
 * :mod:`repro.trajectory` — trajectory model, vehicle simulator, datasets;
 * :mod:`repro.mapmatch` — Newson-Krumm HMM map matching;
 * :mod:`repro.core` — the RNTrajRec model (GridGNN, GPSFormer, GRL,
-  constraint-mask decoder, multi-task loss) and trainer;
+  constraint-mask decoder, multi-task loss);
+* :mod:`repro.train` — the training subsystem: callback-driven
+  :class:`~repro.train.Trainer`, exact-resume
+  :class:`~repro.train.TrainState` checkpoints, LR schedules, gradient
+  accumulation, the data-parallel :class:`~repro.train.ParallelTrainer`,
+  and the :func:`~repro.train.fit_and_bundle` train→deploy bridge;
 * :mod:`repro.baselines` — the eight comparison methods of the paper;
 * :mod:`repro.eval` — MAE/RMSE (road distance), Recall/Precision/F1,
   Accuracy, SR%k;
@@ -28,7 +33,8 @@ This package reimplements the complete system in pure numpy:
 Quickstart::
 
     from repro.datasets import load_dataset
-    from repro.core import RNTrajRec, Trainer, TrainConfig
+    from repro.core import RNTrajRec
+    from repro.train import Trainer, TrainConfig
 
     data = load_dataset("chengdu", num_trajectories=200)
     model = RNTrajRec(data.network)

@@ -1,152 +1,35 @@
-"""Training loop shared by RNTrajRec and every learned baseline.
+"""Deprecated shim — the trainer moved to :mod:`repro.train`.
 
-Adam, gradient clipping, teacher forcing, deterministic batch order per
-epoch seed, and per-epoch validation accuracy.  Any model exposing
-``compute_loss(batch) -> LossBreakdown`` and
-``recover(batch) -> (segments, rates)`` can be trained.
+The seed training loop that lived here was promoted into a full
+subsystem (callback pipeline, exact-resume checkpointing, LR schedules,
+gradient accumulation, data-parallel gradient workers, train→deploy
+bundling).  Import from :mod:`repro.train` in new code::
+
+    from repro.train import Trainer, TrainConfig, ParallelTrainer
+
+Every historical name keeps working from here so existing imports
+(``from repro.core import Trainer`` / ``from repro.core.train import
+quick_accuracy``) are unaffected.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+from ..train import (  # noqa: F401  (re-exports)
+    EpochStats,
+    ParallelTrainer,
+    RecoveryModel,
+    TrainConfig,
+    TrainResult,
+    Trainer,
+    quick_accuracy,
+)
 
-import numpy as np
-
-from .. import nn
-from ..trajectory.dataset import Batch, RecoverySample, iterate_batches
-
-
-class RecoveryModel(Protocol):
-    """Structural interface the trainer requires."""
-
-    def compute_loss(self, batch: Batch): ...
-    def recover(self, batch: Batch) -> Tuple[np.ndarray, np.ndarray]: ...
-    def parameters(self) -> list: ...
-    def train(self, mode: bool = True): ...
-    def eval(self): ...
-    def zero_grad(self) -> None: ...
-
-
-@dataclass
-class TrainConfig:
-    epochs: int = 5
-    batch_size: int = 16
-    learning_rate: float = 1e-3
-    weight_decay: float = 0.0
-    clip_norm: float = 5.0
-    teacher_forcing_ratio: float = 0.5
-    seed: int = 0
-    log_every: int = 0            # 0 disables step logging
-    validate: bool = True
-
-
-@dataclass
-class EpochStats:
-    epoch: int
-    loss: float
-    id_loss: float
-    rate_loss: float
-    graph_loss: float
-    val_accuracy: Optional[float]
-    seconds: float
-
-
-@dataclass
-class TrainResult:
-    history: List[EpochStats] = field(default_factory=list)
-
-    @property
-    def final_loss(self) -> float:
-        return self.history[-1].loss if self.history else float("nan")
-
-    @property
-    def best_val_accuracy(self) -> float:
-        accs = [e.val_accuracy for e in self.history if e.val_accuracy is not None]
-        return max(accs) if accs else float("nan")
-
-
-def quick_accuracy(model: RecoveryModel, samples: Sequence[RecoverySample],
-                   batch_size: int = 16, limit: Optional[int] = None) -> float:
-    """Mean per-point segment accuracy of greedy recovery."""
-    model.eval()
-    subset = list(samples[:limit]) if limit else list(samples)
-    if not subset:
-        return float("nan")
-    correct = 0
-    total = 0
-    for batch in iterate_batches(subset, batch_size):
-        segments, _ = model.recover(batch)
-        correct += int((segments == batch.target_segments).sum())
-        total += segments.size
-    model.train()
-    return correct / max(total, 1)
-
-
-class Trainer:
-    """Adam trainer with teacher forcing."""
-
-    def __init__(self, model: RecoveryModel, config: Optional[TrainConfig] = None) -> None:
-        self.model = model
-        self.config = config or TrainConfig()
-        self.optimizer = nn.Adam(
-            model.parameters(),
-            lr=self.config.learning_rate,
-            weight_decay=self.config.weight_decay,
-        )
-
-    def fit(
-        self,
-        train_samples: Sequence[RecoverySample],
-        val_samples: Sequence[RecoverySample] = (),
-        progress: Optional[Callable[[EpochStats], None]] = None,
-    ) -> TrainResult:
-        cfg = self.config
-        result = TrainResult()
-        self.model.train()
-        rng = np.random.default_rng(cfg.seed)
-
-        for epoch in range(cfg.epochs):
-            start = time.perf_counter()
-            losses: List[float] = []
-            id_losses: List[float] = []
-            rate_losses: List[float] = []
-            graph_losses: List[float] = []
-
-            for step, batch in enumerate(
-                iterate_batches(train_samples, cfg.batch_size, shuffle=True, seed=cfg.seed + epoch)
-            ):
-                self.model.zero_grad()
-                breakdown = self.model.compute_loss(
-                    batch, teacher_forcing_ratio=cfg.teacher_forcing_ratio, rng=rng
-                )
-                breakdown.total.backward()
-                nn.clip_grad_norm(self.model.parameters(), cfg.clip_norm)
-                self.optimizer.step()
-
-                losses.append(breakdown.total.item())
-                id_losses.append(breakdown.id_loss)
-                rate_losses.append(breakdown.rate_loss)
-                graph_losses.append(breakdown.graph_loss)
-                if cfg.log_every and (step + 1) % cfg.log_every == 0:
-                    print(f"  epoch {epoch} step {step + 1}: loss {losses[-1]:.4f}")
-
-            val_acc = None
-            if cfg.validate and len(val_samples):
-                val_acc = quick_accuracy(self.model, val_samples, cfg.batch_size)
-
-            stats = EpochStats(
-                epoch=epoch,
-                loss=float(np.mean(losses)) if losses else float("nan"),
-                id_loss=float(np.mean(id_losses)) if id_losses else float("nan"),
-                rate_loss=float(np.mean(rate_losses)) if rate_losses else float("nan"),
-                graph_loss=float(np.mean(graph_losses)) if graph_losses else float("nan"),
-                val_accuracy=val_acc,
-                seconds=time.perf_counter() - start,
-            )
-            result.history.append(stats)
-            if progress is not None:
-                progress(stats)
-        self.model.eval()
-        return result
+__all__ = [
+    "EpochStats",
+    "ParallelTrainer",
+    "RecoveryModel",
+    "TrainConfig",
+    "TrainResult",
+    "Trainer",
+    "quick_accuracy",
+]

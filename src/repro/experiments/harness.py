@@ -12,7 +12,9 @@ Budget knobs come from the environment:
 
 * ``REPRO_BENCH_TRAJECTORIES`` — trajectories per dataset (default 500);
 * ``REPRO_BENCH_EPOCHS`` — training epochs (default 25);
-* ``REPRO_BENCH_HIDDEN`` — hidden size (default 32).
+* ``REPRO_BENCH_HIDDEN`` — hidden size (default 32);
+* ``REPRO_BENCH_WORKERS`` — gradient workers per training run (default 0
+  = serial; >1 uses :class:`repro.train.ParallelTrainer`).
 """
 
 from __future__ import annotations
@@ -30,8 +32,8 @@ import numpy as np
 from ..baselines import BASELINE_NAMES, build_baseline
 from ..core.config import RNTrajRecConfig
 from ..core.model import RNTrajRec
-from ..core.train import TrainConfig, Trainer
 from ..datasets.registry import LoadedDataset, load_dataset
+from ..train import TrainConfig, make_trainer
 from ..eval.evaluate import evaluate_model, evaluate_sr_at_k
 from ..roadnet.shortest_path import ShortestPathEngine
 
@@ -153,6 +155,10 @@ def run_experiment(
     model_config = model_config or small_model_config(budget["hidden"])
     train_config = train_config or quick_train_config(budget["epochs"])
 
+    # Parallel-trained results are not bit-identical to serial ones (see
+    # repro/train/parallel.py), so the worker count is part of the cache
+    # identity: a cell trained one way never masquerades as the other.
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", 0))
     key = _fingerprint(
         {
             "dataset": dataset,
@@ -162,6 +168,7 @@ def run_experiment(
             "variant": variant_tag,
             "model": asdict(model_config) if hasattr(model_config, "__dataclass_fields__") else vars(model_config),
             "train": vars(train_config),
+            "workers": workers,
         }
     )
     if use_cache:
@@ -176,7 +183,7 @@ def run_experiment(
     train_seconds = 0.0
     if hasattr(model, "parameters"):  # learned methods
         start = time.perf_counter()
-        Trainer(model, train_config).fit(data.train, data.val)
+        make_trainer(model, train_config, num_workers=workers).fit(data.train, data.val)
         train_seconds = time.perf_counter() - start
 
     report = evaluate_model(model, data.test, engine)

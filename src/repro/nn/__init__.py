@@ -24,7 +24,7 @@ from .layers import BatchNorm, Dropout, Embedding, FeedForward, LayerNorm, Linea
 from .module import Module, ModuleList, Parameter, Sequential
 from .optim import SGD, Adam, StepLR, clip_grad_norm
 from .rnn import GRU, LSTM, BiGRU, GRUCell, LSTMCell
-from .serialization import load_checkpoint, save_checkpoint
+from .serialization import load_archive, load_checkpoint, save_archive, save_checkpoint
 from .tensor import (
     Tensor,
     concat,
@@ -86,4 +86,6 @@ __all__ = [
     "clip_grad_norm",
     "save_checkpoint",
     "load_checkpoint",
+    "save_archive",
+    "load_archive",
 ]

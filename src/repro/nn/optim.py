@@ -1,12 +1,16 @@
 """Optimizers (SGD, Adam), gradient clipping and LR schedules.
 
 The paper trains everything with Adam (lr 1e-3); SGD is kept for tests and
-ablation sanity checks.
+ablation sanity checks.  Both optimizers expose ``state_dict()`` /
+``load_state_dict()`` so :mod:`repro.train` can bundle the full update
+state (Adam moments, bias-correction step count, momentum velocities) into
+a resumable :class:`~repro.train.TrainState` archive — resuming then
+continues the exact update sequence a straight-through run would produce.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -43,6 +47,31 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Serialization (flat name -> array, suitable for one .npz archive)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Everything needed to continue the update sequence exactly."""
+        return {"lr": np.asarray(self.lr)}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        self.lr = float(state["lr"])
+
+    def _load_slots(self, state: Dict[str, np.ndarray], prefix: str,
+                    slots: List[np.ndarray]) -> None:
+        """Restore one per-parameter array list saved as ``prefix.<i>``."""
+        for i, slot in enumerate(slots):
+            key = f"{prefix}.{i}"
+            if key not in state:
+                raise KeyError(f"optimizer state missing {key!r}")
+            value = np.asarray(state[key])
+            if value.shape != slot.shape:
+                raise ValueError(
+                    f"optimizer state shape mismatch for {key}: "
+                    f"saved {value.shape}, current {slot.shape}"
+                )
+            slot[...] = value
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -62,6 +91,18 @@ class SGD(Optimizer):
                 p.data = p.data - self.lr * v
             else:
                 p.data = p.data - self.lr * p.grad
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = super().state_dict()
+        state["momentum"] = np.asarray(self.momentum)
+        for i, v in enumerate(self._velocity):
+            state[f"velocity.{i}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        self.momentum = float(state["momentum"])
+        self._load_slots(state, "velocity", self._velocity)
 
 
 class Adam(Optimizer):
@@ -100,6 +141,20 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = super().state_dict()
+        state["step"] = np.asarray(self._step)
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m.{i}"] = m.copy()
+            state[f"v.{i}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        self._step = int(state["step"])
+        self._load_slots(state, "m", self._m)
+        self._load_slots(state, "v", self._v)
 
 
 class StepLR:

@@ -1,9 +1,19 @@
-"""Checkpoint save/load: model state dicts as ``.npz`` archives.
+"""Checkpoint save/load: state dicts as ``.npz`` archives.
 
-Both functions normalize the path to a ``.npz`` suffix, so
-``save_checkpoint(m, "ckpt")`` followed by ``load_checkpoint(m, "ckpt")``
-round-trips: ``np.savez`` appends the suffix on write, and without the
-same normalization the reader would look for a file that does not exist.
+Two layers:
+
+* :func:`save_archive` / :func:`load_archive` — generic flat
+  ``name -> ndarray`` archives.  Both normalize the path to a ``.npz``
+  suffix, so ``save_archive(state, "ckpt")`` followed by
+  ``load_archive("ckpt")`` round-trips: ``np.savez`` appends the suffix on
+  write, and without the same normalization the reader would look for a
+  file that does not exist.
+* :func:`save_checkpoint` / :func:`load_checkpoint` — the module-level
+  convenience pair over ``Module.state_dict()``.
+
+:mod:`repro.train` composes the generic layer into single-archive
+training states (model parameters + buffers, optimizer moments, RNG
+streams and counters under dotted key prefixes).
 """
 
 from __future__ import annotations
@@ -22,23 +32,34 @@ def _normalize(path) -> str:
     return path if path.endswith(".npz") else path + ".npz"
 
 
+def save_archive(arrays: Dict[str, np.ndarray], path: str) -> str:
+    """Write a flat ``name -> ndarray`` mapping to ``path`` (npz).
+
+    Returns the normalized path actually written.  Keys may contain dots
+    (``model.encoder.w``) but not ``/`` — they become zip member names.
+    """
+    path = _normalize(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **{key: np.asarray(value) for key, value in arrays.items()})
+    return path
+
+
+def load_archive(path: str) -> Dict[str, np.ndarray]:
+    """Read back a mapping written by :func:`save_archive`."""
+    with np.load(_normalize(path)) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
 def save_checkpoint(module: Module, path: str) -> str:
     """Write the module's parameters and buffers to ``path`` (npz).
 
     Returns the normalized path actually written.
     """
-    path = _normalize(path)
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    state = module.state_dict()
-    # npz keys may not contain '/', so keep the dotted names as-is.
-    np.savez(path, **state)
-    return path
+    return save_archive(module.state_dict(), path)
 
 
 def load_checkpoint(module: Module, path: str, strict: bool = True) -> Module:
     """Load parameters saved by :func:`save_checkpoint` into ``module``."""
-    with np.load(_normalize(path)) as archive:
-        state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
-    module.load_state_dict(state, strict=strict)
+    module.load_state_dict(load_archive(path), strict=strict)
     return module

@@ -1,0 +1,100 @@
+"""``repro.train`` — the production training subsystem.
+
+Grown out of the seed loop in ``repro.core.train`` (which remains as a
+deprecation shim re-exporting these names):
+
+* :class:`Trainer` — Adam + teacher forcing, driven by a callback/event
+  pipeline (:mod:`~repro.train.callbacks`): quiet-by-default logging,
+  early stopping, best-model tracking, periodic checkpoints, ad-hoc
+  metric hooks;
+* :class:`TrainState` — exact-resume checkpointing: model params+buffers,
+  optimizer moments/step, RNG streams and counters in one ``.npz``
+  archive, with a bit-for-bit determinism guarantee (train N ≡ train k →
+  resume → train N−k);
+* :mod:`~repro.train.schedules` — ``warmup`` / ``step`` / ``cosine`` LR
+  schedules as pure functions of the epoch, plus gradient accumulation;
+* :class:`ParallelTrainer` — data-parallel gradient workers over the
+  numpy backend (fork + pipes, shard-weighted gradient averaging);
+* :func:`fit_and_bundle` / :func:`register_bundle` — the train→deploy
+  bridge into :mod:`repro.serve` bundles and the cluster's hot-deploy
+  endpoints.
+
+See ``docs/training.md`` for the operator guide.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from .callbacks import (
+    BestModelTracker,
+    Callback,
+    CallbackList,
+    CheckpointCallback,
+    EarlyStopping,
+    LambdaCallback,
+    LoggingCallback,
+    ProgressCallback,
+    StepInfo,
+)
+from .config import SCHEDULE_NAMES, EpochStats, TrainConfig, TrainResult
+from .parallel import ParallelTrainer, fork_available, shard_indices
+from .pipeline import (
+    BundleReport,
+    fit_and_bundle,
+    make_trainer,
+    model_version,
+    register_bundle,
+)
+from .schedules import ConstantLR, CosineLR, LRSchedule, StepDecayLR, build_schedule
+from .state import TrainState
+from .trainer import RecoveryModel, Trainer, quick_accuracy
+
+__all__ = [
+    "BestModelTracker",
+    "BundleReport",
+    "Callback",
+    "CallbackList",
+    "CheckpointCallback",
+    "ConstantLR",
+    "CosineLR",
+    "EarlyStopping",
+    "EpochStats",
+    "LRSchedule",
+    "LambdaCallback",
+    "LoggingCallback",
+    "ParallelTrainer",
+    "ProgressCallback",
+    "RecoveryModel",
+    "SCHEDULE_NAMES",
+    "StepDecayLR",
+    "StepInfo",
+    "TrainConfig",
+    "TrainResult",
+    "TrainState",
+    "Trainer",
+    "build_schedule",
+    "enable_console_logging",
+    "fit_and_bundle",
+    "fork_available",
+    "make_trainer",
+    "model_version",
+    "quick_accuracy",
+    "register_bundle",
+    "shard_indices",
+]
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stderr handler to the ``repro.train`` logger (idempotent).
+
+    The trainer is quiet by default; CLIs call this to surface epoch/step
+    records without configuring application-wide logging.
+    """
+    logger = logging.getLogger("repro.train")
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("[%(name)s] %(message)s"))
+        logger.addHandler(handler)
+    return logger

@@ -1,0 +1,247 @@
+"""Callback/event pipeline driving the trainer's side effects.
+
+The trainer itself only computes; everything observable — logging, early
+stopping, best-model tracking, periodic checkpoints, custom metric hooks —
+is a :class:`Callback`.  Events fire in registration order:
+
+``on_train_begin`` → (``on_epoch_begin`` → ``on_step_end``* →
+``on_epoch_end``)* → ``on_train_end``
+
+Logging is quiet by default: :class:`LoggingCallback` writes to the
+``repro.train`` :mod:`logging` logger (epoch summaries at INFO, step
+records at DEBUG, or INFO every ``log_every`` steps), so nothing reaches
+the console unless the host application configures logging —
+:func:`repro.train.enable_console_logging` is the one-liner for CLIs.
+"""
+
+from __future__ import annotations
+
+import copy
+import logging
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .config import EpochStats, TrainResult
+
+logger = logging.getLogger("repro.train")
+
+
+@dataclass(frozen=True)
+class StepInfo:
+    """One optimizer micro-step as seen by callbacks."""
+
+    epoch: int
+    step: int              # 0-based within the epoch
+    global_step: int       # monotonic across epochs and resumes
+    loss: float
+    lr: float
+
+
+class Callback:
+    """Base class; override any subset of the hooks."""
+
+    def on_train_begin(self, trainer) -> None: ...
+    def on_epoch_begin(self, trainer, epoch: int) -> None: ...
+    def on_step_end(self, trainer, info: StepInfo) -> None: ...
+    def on_epoch_end(self, trainer, stats: EpochStats) -> None: ...
+    def on_train_end(self, trainer, result: TrainResult) -> None: ...
+
+
+class CallbackList(Callback):
+    """Fan one event out to many callbacks, in order."""
+
+    def __init__(self, callbacks) -> None:
+        self.callbacks: List[Callback] = list(callbacks)
+
+    def on_train_begin(self, trainer) -> None:
+        for cb in self.callbacks:
+            cb.on_train_begin(trainer)
+
+    def on_epoch_begin(self, trainer, epoch: int) -> None:
+        for cb in self.callbacks:
+            cb.on_epoch_begin(trainer, epoch)
+
+    def on_step_end(self, trainer, info: StepInfo) -> None:
+        for cb in self.callbacks:
+            cb.on_step_end(trainer, info)
+
+    def on_epoch_end(self, trainer, stats: EpochStats) -> None:
+        for cb in self.callbacks:
+            cb.on_epoch_end(trainer, stats)
+
+    def on_train_end(self, trainer, result: TrainResult) -> None:
+        for cb in self.callbacks:
+            cb.on_train_end(trainer, result)
+
+
+class LoggingCallback(Callback):
+    """Structured logging replacing the seed trainer's bare prints."""
+
+    def __init__(self, log_every: int = 0) -> None:
+        self.log_every = int(log_every)
+
+    def on_step_end(self, trainer, info: StepInfo) -> None:
+        if self.log_every and (info.step + 1) % self.log_every == 0:
+            logger.info("epoch %d step %d: loss %.4f lr %.2e",
+                        info.epoch, info.step + 1, info.loss, info.lr)
+        else:
+            logger.debug("epoch %d step %d: loss %.4f", info.epoch,
+                         info.step + 1, info.loss)
+
+    def on_epoch_end(self, trainer, stats: EpochStats) -> None:
+        val = ("" if stats.val_accuracy is None
+               else f" val_acc {stats.val_accuracy:.4f}")
+        logger.info("epoch %d: loss %.4f (id %.4f rate %.4f graph %.4f)%s "
+                    "lr %.2e %.1fs", stats.epoch, stats.loss, stats.id_loss,
+                    stats.rate_loss, stats.graph_loss, val, stats.lr,
+                    stats.seconds)
+
+
+class ProgressCallback(Callback):
+    """Adapter for the seed API's ``progress=`` epoch-stats function."""
+
+    def __init__(self, fn: Callable[[EpochStats], None]) -> None:
+        self.fn = fn
+
+    def on_epoch_end(self, trainer, stats: EpochStats) -> None:
+        self.fn(stats)
+
+
+class LambdaCallback(Callback):
+    """Ad-hoc metric hooks without a subclass."""
+
+    def __init__(self,
+                 on_epoch_end: Optional[Callable] = None,
+                 on_step_end: Optional[Callable] = None,
+                 on_train_begin: Optional[Callable] = None,
+                 on_train_end: Optional[Callable] = None) -> None:
+        self._epoch_end = on_epoch_end
+        self._step_end = on_step_end
+        self._train_begin = on_train_begin
+        self._train_end = on_train_end
+
+    def on_train_begin(self, trainer) -> None:
+        if self._train_begin:
+            self._train_begin(trainer)
+
+    def on_step_end(self, trainer, info: StepInfo) -> None:
+        if self._step_end:
+            self._step_end(trainer, info)
+
+    def on_epoch_end(self, trainer, stats: EpochStats) -> None:
+        if self._epoch_end:
+            self._epoch_end(trainer, stats)
+
+    def on_train_end(self, trainer, result: TrainResult) -> None:
+        if self._train_end:
+            self._train_end(trainer, result)
+
+
+def _monitor_value(stats: EpochStats, monitor: str) -> Optional[float]:
+    if monitor == "loss":
+        return stats.loss
+    if monitor == "val_accuracy":
+        return stats.val_accuracy
+    raise ValueError(f"unknown monitor {monitor!r}; use 'loss' or 'val_accuracy'")
+
+
+class EarlyStopping(Callback):
+    """Stop when the monitored metric stops improving.
+
+    ``monitor='loss'`` improves downward, ``'val_accuracy'`` upward.
+    Epochs whose monitor is unavailable (no validation split) are ignored.
+    """
+
+    def __init__(self, monitor: str = "loss", patience: int = 3,
+                 min_delta: float = 0.0) -> None:
+        _monitor_value(EpochStats(0, 0, 0, 0, 0, None, 0), monitor)  # validate name
+        self.monitor = monitor
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.best: float = math.inf if monitor == "loss" else -math.inf
+        self.stale = 0
+        self.stopped_epoch: Optional[int] = None
+
+    def _improved(self, value: float) -> bool:
+        if self.monitor == "loss":
+            return value < self.best - self.min_delta
+        return value > self.best + self.min_delta
+
+    def on_epoch_end(self, trainer, stats: EpochStats) -> None:
+        value = _monitor_value(stats, self.monitor)
+        if value is None or not np.isfinite(value):
+            return
+        if self._improved(value):
+            self.best = value
+            self.stale = 0
+            return
+        self.stale += 1
+        if self.stale >= self.patience:
+            self.stopped_epoch = stats.epoch
+            trainer.stop_training = True
+            logger.info("early stopping at epoch %d (%s stale for %d epochs; "
+                        "best %.4f)", stats.epoch, self.monitor, self.stale,
+                        self.best)
+
+
+class BestModelTracker(Callback):
+    """Keep (and optionally restore) the best epoch's model state."""
+
+    def __init__(self, monitor: str = "val_accuracy",
+                 restore_on_end: bool = False) -> None:
+        _monitor_value(EpochStats(0, 0, 0, 0, 0, None, 0), monitor)
+        self.monitor = monitor
+        self.restore_on_end = restore_on_end
+        self.best_value: float = -math.inf if monitor == "val_accuracy" else math.inf
+        self.best_epoch: Optional[int] = None
+        self.best_state: Optional[Dict[str, np.ndarray]] = None
+
+    def _improved(self, value: float) -> bool:
+        if self.monitor == "loss":
+            return value < self.best_value
+        return value > self.best_value
+
+    def on_epoch_end(self, trainer, stats: EpochStats) -> None:
+        value = _monitor_value(stats, self.monitor)
+        if value is None or not np.isfinite(value) or not self._improved(value):
+            return
+        self.best_value = value
+        self.best_epoch = stats.epoch
+        self.best_state = copy.deepcopy(trainer.model.state_dict())
+
+    def on_train_end(self, trainer, result: TrainResult) -> None:
+        if self.restore_on_end and self.best_state is not None:
+            trainer.model.load_state_dict(self.best_state)
+            logger.info("restored best model from epoch %s (%s %.4f)",
+                        self.best_epoch, self.monitor, self.best_value)
+
+    def restore(self, model) -> None:
+        """Explicitly load the tracked best state into ``model``."""
+        if self.best_state is None:
+            raise RuntimeError("no best state tracked yet")
+        model.load_state_dict(self.best_state)
+
+
+class CheckpointCallback(Callback):
+    """Write the trainer's full :class:`~repro.train.TrainState` archive
+    every ``every`` epochs (and always on train end), enabling exact
+    resume after interruption."""
+
+    def __init__(self, path: str, every: int = 1) -> None:
+        self.path = path
+        self.every = max(1, int(every))
+        self.last_written: Optional[str] = None
+
+    def on_epoch_end(self, trainer, stats: EpochStats) -> None:
+        # The trainer bumps its epoch counter before this event, so the
+        # archive records "stats.epoch completed, resume at the next one".
+        if (stats.epoch + 1) % self.every == 0:
+            self.last_written = trainer.save_state(self.path)
+            logger.debug("checkpointed epoch %d to %s", stats.epoch,
+                         self.last_written)
+
+    def on_train_end(self, trainer, result: TrainResult) -> None:
+        self.last_written = trainer.save_state(self.path)

@@ -1,0 +1,70 @@
+"""Training configuration and per-epoch result records.
+
+:class:`TrainConfig` is a superset of the seed trainer's knobs: the
+original fields keep their names and defaults (the experiment harness
+fingerprints ``vars(config)``, so renames would silently invalidate
+nothing — they would *change* every cache key), plus LR-schedule and
+gradient-accumulation controls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+SCHEDULE_NAMES = ("constant", "warmup", "step", "cosine")
+
+
+@dataclass
+class TrainConfig:
+    epochs: int = 5
+    batch_size: int = 16
+    learning_rate: float = 1e-3
+    weight_decay: float = 0.0
+    clip_norm: float = 5.0
+    teacher_forcing_ratio: float = 0.5
+    seed: int = 0
+    log_every: int = 0            # 0 disables step logging
+    validate: bool = True
+    # --- LR schedule (pure functions of the epoch index: resume-safe) ---
+    schedule: str = "constant"    # one of SCHEDULE_NAMES
+    warmup_epochs: int = 0        # linear ramp before the schedule proper
+    lr_step_size: int = 10        # `step`: decay every this many epochs
+    lr_gamma: float = 0.5         # `step`: multiplicative decay factor
+    min_lr: float = 0.0           # `cosine`: floor the anneal ends at
+    # --- gradient accumulation (optimizer step every N micro-batches) ---
+    accumulate_steps: int = 1
+
+    def __post_init__(self) -> None:
+        if self.schedule not in SCHEDULE_NAMES:
+            raise ValueError(
+                f"unknown schedule {self.schedule!r}; expected one of {SCHEDULE_NAMES}")
+        if self.accumulate_steps < 1:
+            raise ValueError("accumulate_steps must be >= 1")
+
+
+@dataclass
+class EpochStats:
+    epoch: int
+    loss: float
+    id_loss: float
+    rate_loss: float
+    graph_loss: float
+    val_accuracy: Optional[float]
+    seconds: float
+    lr: float = 0.0
+    grad_norm: float = 0.0        # pre-clip norm of the last step in the epoch
+
+
+@dataclass
+class TrainResult:
+    history: List[EpochStats] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.history[-1].loss if self.history else float("nan")
+
+    @property
+    def best_val_accuracy(self) -> float:
+        accs = [e.val_accuracy for e in self.history if e.val_accuracy is not None]
+        return max(accs) if accs else float("nan")

@@ -1,0 +1,253 @@
+"""Data-parallel training over the numpy backend.
+
+:class:`ParallelTrainer` keeps the serial trainer's semantics — identical
+batch schedule, identical per-batch scheduled-sampling seed, identical
+clip/step in the parent — and only changes how one batch's gradient is
+produced: the batch's sample indices are sharded across ``num_workers``
+forked **gradient workers**, each computes forward/backward on its shard,
+and the parent averages the shard gradients weighted by shard size.
+
+Worker protocol (``fork`` start method, one duplex pipe per worker):
+
+* workers inherit the model and the training samples by fork at
+  ``fit()`` start — no per-step pickling of either;
+* per batch the parent broadcasts the flattened parameter vector, the
+  flattened buffer vector (GraphNorm/BatchNorm running statistics), the
+  shard's indices and the batch seed;
+* each worker returns its shard's flattened gradient, updated buffers and
+  loss components; the parent scatters the weighted average back into
+  ``param.grad`` (adding, so gradient accumulation composes) and sets the
+  buffers to the shard-size-weighted average.
+
+Exactness: the id/rate losses are per-element means over equal-length
+targets, so the weighted shard average equals the full-batch gradient up
+to floating-point summation order — worker-count invariant to machine
+epsilon (the test asserts ~1e-15 relative).  Two model features are
+batch-coupled and therefore *approximate* under sharding, with the same
+semantics PyTorch DDP ships for BatchNorm: GraphNorm normalizes with the
+statistics of the nodes it sees (each shard's, not the full batch's;
+running estimates are synced as the shard-size-weighted average), and the
+graph classification loss normalizes by its shard's sub-graphs-with-hit
+count.  Ablate both (``use_graph_norm=False``, ``use_graph_loss=False``)
+for bit-exact parity with the serial trainer; with them on, the loss
+trajectories track closely but not identically (the benchmark bounds the
+divergence).  Dropout layers draw from per-process streams, so parallel
+runs only match serial runs exactly when dropout is 0 (the repo's
+standard small-CPU config).
+
+On a single-core host the workers still produce correct gradients but no
+wall-clock speedup; ``benchmarks/bench_training.py`` measures and gates
+the ≥2x epoch-throughput target where the cores exist.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import profile
+from ..trajectory.dataset import RecoverySample, make_batch
+from .config import TrainConfig
+from .trainer import Callback, RecoveryModel, Trainer
+
+# Handed to forked children at pool construction; cleared immediately
+# after the forks so the parent holds no stray reference.
+_FORK_CONTEXT: Optional[tuple] = None
+
+
+def fork_available() -> bool:
+    return "fork" in mp.get_all_start_methods()
+
+
+def shard_indices(indices: Sequence[int], num_shards: int) -> List[List[int]]:
+    """Contiguous, balanced, possibly-empty-free split of a batch's
+    indices: at most ``num_shards`` shards, sizes differing by <= 1."""
+    shards = [list(part) for part in
+              np.array_split(np.asarray(indices, dtype=np.int64), num_shards)]
+    return [shard for shard in shards if shard]
+
+
+def _param_vector(model) -> np.ndarray:
+    return np.concatenate([p.data.ravel() for p in model.parameters()])
+
+
+def _assign_param_vector(model, vector: np.ndarray) -> None:
+    offset = 0
+    for p in model.parameters():
+        size = p.data.size
+        p.data = vector[offset:offset + size].reshape(p.data.shape).copy()
+        offset += size
+
+
+def _buffer_vector(model) -> np.ndarray:
+    values = [np.asarray(value, dtype=np.float64).ravel()
+              for _, value in model.named_buffers()]
+    return np.concatenate(values) if values else np.zeros(0)
+
+
+def _assign_buffer_vector(model, vector: np.ndarray) -> None:
+    offset = 0
+    for _, owner, attr in model._buffer_owners():
+        current = np.asarray(getattr(owner, attr))
+        size = current.size
+        object.__setattr__(
+            owner, attr,
+            vector[offset:offset + size].reshape(current.shape).copy())
+        offset += size
+
+
+def _grad_vector(model) -> np.ndarray:
+    parts = []
+    for p in model.parameters():
+        grad = p.grad if p.grad is not None else np.zeros_like(p.data)
+        parts.append(np.asarray(grad).ravel())
+    return np.concatenate(parts)
+
+
+def _add_grad_vector(model, vector: np.ndarray) -> None:
+    offset = 0
+    for p in model.parameters():
+        size = p.data.size
+        chunk = vector[offset:offset + size].reshape(p.data.shape)
+        p.grad = chunk.copy() if p.grad is None else p.grad + chunk
+        offset += size
+
+
+def _worker_main(conn) -> None:
+    """Gradient worker loop: lives in a forked child for one fit() call."""
+    model, samples, teacher_forcing_ratio = _FORK_CONTEXT
+    model.train()
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                break
+            _, indices, params, buffers, seed = message
+            try:
+                _assign_param_vector(model, params)
+                if buffers.size:
+                    _assign_buffer_vector(model, buffers)
+                model.zero_grad()
+                batch = make_batch([samples[i] for i in indices])
+                breakdown = model.compute_loss(
+                    batch, teacher_forcing_ratio=teacher_forcing_ratio,
+                    rng=np.random.default_rng(seed))
+                breakdown.total.backward()
+                conn.send(("ok", len(indices), _grad_vector(model),
+                           _buffer_vector(model), breakdown.total.item(),
+                           breakdown.id_loss, breakdown.rate_loss,
+                           breakdown.graph_loss))
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        conn.close()
+
+
+class _GradientPool:
+    """Parent-side handle on the forked gradient workers."""
+
+    def __init__(self, model, samples: Sequence[RecoverySample],
+                 num_workers: int, teacher_forcing_ratio: float) -> None:
+        global _FORK_CONTEXT
+        ctx = mp.get_context("fork")
+        self._conns = []
+        self._procs = []
+        _FORK_CONTEXT = (model, list(samples), teacher_forcing_ratio)
+        try:
+            for _ in range(num_workers):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(target=_worker_main, args=(child_conn,),
+                                   daemon=True)
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+        finally:
+            _FORK_CONTEXT = None
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._conns)
+
+    def batch_gradients(self, model, indices: Sequence[int], seed: int
+                        ) -> Tuple[float, float, float, float]:
+        """Scatter the batch, gather shard gradients, apply the weighted
+        average into ``model`` (gradients add; buffers are replaced)."""
+        shards = shard_indices(indices, self.num_workers)
+        params = _param_vector(model)
+        buffers = _buffer_vector(model)
+        with profile.section("train.scatter"):
+            for conn, shard in zip(self._conns, shards):
+                conn.send(("grad", shard, params, buffers, seed))
+        results = []
+        with profile.section("train.gather"):
+            for conn, _shard in zip(self._conns, shards):
+                reply = conn.recv()
+                if reply[0] == "error":
+                    raise RuntimeError(f"gradient worker failed:\n{reply[1]}")
+                results.append(reply[1:])
+
+        total = sum(n for n, *_ in results)
+        weights = [n / total for n, *_ in results]
+        grad = np.zeros_like(params)
+        for weight, (_, shard_grad, *_rest) in zip(weights, results):
+            grad += weight * shard_grad
+        _add_grad_vector(model, grad)
+        if buffers.size:
+            merged = np.zeros_like(buffers)
+            for weight, (_, _g, shard_buffers, *_rest) in zip(weights, results):
+                merged += weight * shard_buffers
+            _assign_buffer_vector(model, merged)
+        loss, id_loss, rate_loss, graph_loss = (
+            float(sum(w * r[3 + k] for w, r in zip(weights, results)))
+            for k in range(4))
+        return loss, id_loss, rate_loss, graph_loss
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+                conn.close()
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():
+                proc.terminate()
+        self._conns = []
+        self._procs = []
+
+
+class ParallelTrainer(Trainer):
+    """The serial trainer with batch gradients sharded across forked
+    workers.  Degrades to in-process computation when ``num_workers <= 1``
+    or the platform lacks the ``fork`` start method."""
+
+    def __init__(self, model: RecoveryModel, config: Optional[TrainConfig] = None,
+                 num_workers: int = 4, callbacks: Sequence[Callback] = ()) -> None:
+        super().__init__(model, config, callbacks=callbacks)
+        self.num_workers = max(1, int(num_workers))
+        self._pool: Optional[_GradientPool] = None
+
+    def _setup(self, train_samples: Sequence[RecoverySample]) -> None:
+        if self.num_workers > 1 and fork_available():
+            self._pool = _GradientPool(self.model, train_samples,
+                                       self.num_workers,
+                                       self.config.teacher_forcing_ratio)
+
+    def _teardown(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def _batch_gradients(self, samples, indices, seed: int
+                         ) -> Tuple[float, float, float, float]:
+        if self._pool is None:
+            return super()._batch_gradients(samples, indices, seed)
+        with profile.section("train.parallel_batch"):
+            return self._pool.batch_gradients(self.model, indices, seed)

@@ -1,0 +1,136 @@
+"""Train→deploy bridge: one call from samples to a servable bundle.
+
+:func:`fit_and_bundle` trains (serially or with gradient workers), then
+writes the ``<prefix>.npz`` + ``<prefix>.json`` bundle that
+:class:`repro.serve.ModelRegistry` and the cluster's ``/register`` +
+``/swap`` endpoints consume directly.  The JSON sidecar gains a ``train``
+section — content-hash version, epochs, final loss, best validation
+accuracy, schedule, worker count — so a deployed bundle carries its own
+provenance; the registry reads only the ``config`` section and ignores
+the rest, so older bundles and tooling are unaffected.
+
+:func:`register_bundle` completes the "train a city, roll it into the
+cluster" path: it POSTs the bundle to a running cluster front door
+(``scripts/serve.py cluster``), which hot-deploys it on the owning shard
+without touching siblings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+import urllib.request
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .callbacks import Callback
+from .config import TrainConfig, TrainResult
+from .parallel import ParallelTrainer
+from .trainer import RecoveryModel, Trainer
+
+
+def model_version(model) -> str:
+    """Content hash of the model's state (parameters + buffers): two
+    bundles with identical weights share a version, any retrain changes
+    it.  Used as the bundle's ``train.version`` provenance tag."""
+    digest = hashlib.sha256()
+    state = model.state_dict()
+    for name in sorted(state):
+        digest.update(name.encode())
+        digest.update(state[name].tobytes())
+    return digest.hexdigest()[:12]
+
+
+@dataclass
+class BundleReport:
+    """What :func:`fit_and_bundle` produced."""
+
+    result: TrainResult
+    checkpoint_path: str
+    config_path: str
+    version: str
+
+
+def make_trainer(model: RecoveryModel, config: Optional[TrainConfig] = None,
+                 num_workers: int = 0,
+                 callbacks: Sequence[Callback] = ()) -> Trainer:
+    """Serial trainer, or a :class:`ParallelTrainer` when workers > 1."""
+    if num_workers and num_workers > 1:
+        return ParallelTrainer(model, config, num_workers=num_workers,
+                               callbacks=callbacks)
+    return Trainer(model, config, callbacks=callbacks)
+
+
+def fit_and_bundle(
+    model,
+    train_samples,
+    out_prefix: str,
+    val_samples=(),
+    config: Optional[TrainConfig] = None,
+    num_workers: int = 0,
+    callbacks: Sequence[Callback] = (),
+    checkpoint: Optional[str] = None,
+    metadata: Optional[dict] = None,
+) -> BundleReport:
+    """Train ``model`` and emit a versioned serving bundle.
+
+    ``checkpoint`` threads through to :meth:`Trainer.fit` — pass a state
+    archive path to make the training leg itself resumable.  ``metadata``
+    entries are merged into the sidecar's ``train`` section.
+    """
+    from ..serve import save_model_bundle  # lazy: serve imports repro.core
+
+    trainer = make_trainer(model, config, num_workers=num_workers,
+                           callbacks=callbacks)
+    result = trainer.fit(train_samples, val_samples, checkpoint=checkpoint)
+    model.eval()
+    ckpt_path, config_path = save_model_bundle(model, out_prefix)
+
+    version = model_version(model)
+    with open(config_path) as handle:
+        sidecar = json.load(handle)
+    train_meta = {
+        "version": version,
+        "epochs": trainer.epochs_completed,
+        "final_loss": result.final_loss,
+        "best_val_accuracy": result.best_val_accuracy,
+        "schedule": trainer.config.schedule,
+        "num_workers": getattr(trainer, "num_workers", 1),
+        "created_unix": round(time.time(), 3),
+    }
+    train_meta.update(metadata or {})
+    sidecar["train"] = _jsonable(train_meta)
+    with open(config_path, "w") as handle:
+        json.dump(sidecar, handle, indent=1)
+    return BundleReport(result=result, checkpoint_path=ckpt_path,
+                        config_path=config_path, version=version)
+
+
+def _jsonable(payload: dict) -> dict:
+    """NaN-safe (None-ified) copy — json.dump would emit invalid bare NaN."""
+    cleaned = {}
+    for key, value in payload.items():
+        if isinstance(value, float) and value != value:
+            cleaned[key] = None
+        else:
+            cleaned[key] = value
+    return cleaned
+
+
+def register_bundle(base_url: str, shard: str, model_name: str,
+                    bundle_prefix: str, activate: bool = True,
+                    timeout: float = 30.0) -> dict:
+    """POST a trained bundle to a running cluster front door's
+    ``/register`` endpoint; returns the cluster's response payload."""
+    body = json.dumps({
+        "shard": shard,
+        "model": model_name,
+        "bundle": bundle_prefix,
+        "activate": bool(activate),
+    }).encode()
+    request = urllib.request.Request(
+        base_url.rstrip("/") + "/register", data=body,
+        headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read().decode() or "{}")

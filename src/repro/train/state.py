@@ -1,0 +1,151 @@
+"""Exact-resume training state: one ``.npz`` archive for everything.
+
+A :class:`TrainState` bundles
+
+* the model's parameters **and buffers** (GraphNorm/BatchNorm running
+  statistics travel via ``Module.state_dict``),
+* the optimizer's full update state (Adam moments + bias-correction step,
+  SGD velocities) via the new ``Optimizer.state_dict``,
+* every RNG stream training consumes — the trainer's master generator
+  (which seeds per-batch scheduled-sampling draws) and each
+  :class:`~repro.nn.layers.Dropout` layer's private stream,
+* the epoch / global-step counters and the accumulated epoch history.
+
+All of it lands in a single flat archive via
+:func:`repro.nn.serialization.save_archive`: array-valued entries under
+``model.*`` / ``optim.*`` prefixes, and the scalar/structured remainder as
+one JSON blob (``meta``) encoded to bytes.  The guarantee this buys (and
+``tests/test_train.py`` enforces): training N epochs produces *bit-for-bit*
+the same parameters as training k, saving, restoring into fresh objects,
+and training the remaining N−k.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from .. import nn
+from ..nn.serialization import load_archive, save_archive
+from .config import EpochStats
+
+MODEL_PREFIX = "model."
+OPTIM_PREFIX = "optim."
+META_KEY = "meta"
+FORMAT_VERSION = 1
+
+
+def _dropout_layers(model) -> List[nn.Dropout]:
+    """Dropout modules in deterministic traversal order."""
+    if not hasattr(model, "modules"):
+        return []
+    return [m for m in model.modules() if isinstance(m, nn.Dropout)]
+
+
+def _generator_state(rng: np.random.Generator) -> dict:
+    return rng.bit_generator.state
+
+
+def _restore_generator(rng: np.random.Generator, state: dict) -> None:
+    rng.bit_generator.state = state
+
+
+def _encode_meta(meta: dict) -> np.ndarray:
+    return np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+
+
+def _decode_meta(blob: np.ndarray) -> dict:
+    return json.loads(bytes(np.asarray(blob, dtype=np.uint8)).decode("utf-8"))
+
+
+@dataclass
+class TrainState:
+    """A resumable snapshot of a :class:`~repro.train.Trainer`."""
+
+    epoch: int                               # epochs fully completed
+    global_step: int
+    model_state: Dict[str, np.ndarray]
+    optimizer_state: Dict[str, np.ndarray]
+    rng: dict                                # master + dropout stream states
+    history: List[dict]                      # EpochStats as dicts
+    config: dict                             # TrainConfig snapshot (advisory)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(cls, trainer) -> "TrainState":
+        return cls(
+            epoch=trainer._epoch,
+            global_step=trainer._global_step,
+            model_state=trainer.model.state_dict(),
+            optimizer_state=trainer.optimizer.state_dict(),
+            rng={
+                "master": _generator_state(trainer._rng),
+                "dropout": [_generator_state(layer._rng)
+                            for layer in _dropout_layers(trainer.model)],
+            },
+            history=[asdict(stats) for stats in trainer.history],
+            config=dict(vars(trainer.config)),
+        )
+
+    def restore(self, trainer) -> None:
+        """Apply this state to ``trainer`` (model, optimizer, RNGs,
+        counters, history) so its next ``fit`` continues exactly."""
+        trainer.model.load_state_dict(self.model_state)
+        trainer.optimizer.load_state_dict(self.optimizer_state)
+        _restore_generator(trainer._rng, self.rng["master"])
+        layers = _dropout_layers(trainer.model)
+        saved = self.rng.get("dropout", [])
+        if len(saved) != len(layers):
+            raise ValueError(
+                f"checkpoint has {len(saved)} dropout stream(s), model has "
+                f"{len(layers)} — architectures differ")
+        for layer, state in zip(layers, saved):
+            _restore_generator(layer._rng, state)
+        trainer._epoch = int(self.epoch)
+        trainer._global_step = int(self.global_step)
+        trainer.history = [EpochStats(**entry) for entry in self.history]
+
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> str:
+        """Write the single-archive ``.npz``; returns the path written."""
+        arrays: Dict[str, np.ndarray] = {}
+        for name, value in self.model_state.items():
+            arrays[MODEL_PREFIX + name] = value
+        for name, value in self.optimizer_state.items():
+            arrays[OPTIM_PREFIX + name] = value
+        arrays[META_KEY] = _encode_meta({
+            "format_version": FORMAT_VERSION,
+            "epoch": self.epoch,
+            "global_step": self.global_step,
+            "rng": self.rng,
+            "history": self.history,
+            "config": self.config,
+        })
+        return save_archive(arrays, path)
+
+    @classmethod
+    def load(cls, path: str) -> "TrainState":
+        arrays = load_archive(path)
+        if META_KEY not in arrays:
+            raise ValueError(f"{path!r} is not a TrainState archive "
+                             "(missing 'meta'; plain model checkpoints are "
+                             "loaded with nn.load_checkpoint)")
+        meta = _decode_meta(arrays.pop(META_KEY))
+        model_state = {key[len(MODEL_PREFIX):]: value
+                       for key, value in arrays.items()
+                       if key.startswith(MODEL_PREFIX)}
+        optim_state = {key[len(OPTIM_PREFIX):]: value
+                       for key, value in arrays.items()
+                       if key.startswith(OPTIM_PREFIX)}
+        return cls(
+            epoch=int(meta["epoch"]),
+            global_step=int(meta["global_step"]),
+            model_state=model_state,
+            optimizer_state=optim_state,
+            rng=meta["rng"],
+            history=list(meta["history"]),
+            config=dict(meta.get("config", {})),
+        )

@@ -1,0 +1,277 @@
+"""The serial trainer: callback pipeline, schedules, exact resume.
+
+Training semantics (shared with :class:`~repro.train.ParallelTrainer`,
+which only overrides how one batch's gradient is produced):
+
+* batch schedule — :func:`repro.trajectory.dataset.iterate_batch_indices`
+  with ``seed + epoch``, so the schedule is a pure function of the epoch;
+* scheduled sampling — each batch gets a fresh generator seeded by a draw
+  from the trainer's master RNG; the master state is part of
+  :class:`~repro.train.TrainState`, so a resumed run continues the exact
+  stream, and gradient workers replay the same per-batch seed;
+* learning rate — ``schedule.lr_at(epoch)`` applied at epoch start;
+* gradient accumulation — gradients sum over ``accumulate_steps``
+  micro-batches and are averaged before clip + optimizer step.
+
+The trainer is quiet by default: step/epoch records go to the
+``repro.train`` logger (see :mod:`repro.train.callbacks`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn, profile
+from ..trajectory.dataset import (
+    Batch,
+    RecoverySample,
+    iterate_batch_indices,
+    make_batch,
+    make_padded_batch,
+)
+from .callbacks import (
+    Callback,
+    CallbackList,
+    CheckpointCallback,
+    LoggingCallback,
+    ProgressCallback,
+    StepInfo,
+)
+from .config import EpochStats, TrainConfig, TrainResult
+from .schedules import build_schedule
+from .state import TrainState
+
+
+class RecoveryModel(Protocol):
+    """Structural interface the trainer requires."""
+
+    def compute_loss(self, batch: Batch): ...
+    def recover(self, batch: Batch) -> Tuple[np.ndarray, np.ndarray]: ...
+    def parameters(self) -> list: ...
+    def train(self, mode: bool = True): ...
+    def eval(self): ...
+    def zero_grad(self) -> None: ...
+
+
+def quick_accuracy(model: RecoveryModel, samples: Sequence[RecoverySample],
+                   batch_size: int = 16, limit: Optional[int] = None) -> float:
+    """Mean per-point segment accuracy of greedy recovery.
+
+    Samples sharing an input length are coalesced into target-padded
+    batches (:func:`make_padded_batch`), and **only each sample's true
+    target positions are scored** — padded tail steps carry segment 0 and
+    would otherwise count any model that happens to emit 0 there as
+    correct, inflating validation accuracy.
+    """
+    was_training = bool(getattr(model, "training", False))
+    model.eval()
+    subset = list(samples[:limit]) if limit else list(samples)
+    if not subset:
+        if was_training:
+            model.train()
+        return float("nan")
+
+    by_input_length: dict = {}
+    for sample in subset:
+        by_input_length.setdefault(sample.input_length, []).append(sample)
+
+    correct = 0
+    total = 0
+    for group in by_input_length.values():
+        for start in range(0, len(group), batch_size):
+            batch, lengths = make_padded_batch(group[start:start + batch_size])
+            segments, _ = model.recover(batch)
+            for i, length in enumerate(lengths):
+                row = segments[i, :length] == batch.target_segments[i, :length]
+                correct += int(row.sum())
+                total += int(length)
+    if was_training:
+        model.train()
+    return correct / max(total, 1)
+
+
+class Trainer:
+    """Adam trainer with teacher forcing, driven by a callback pipeline."""
+
+    def __init__(self, model: RecoveryModel, config: Optional[TrainConfig] = None,
+                 callbacks: Sequence[Callback] = ()) -> None:
+        self.model = model
+        self.config = config or TrainConfig()
+        self.optimizer = nn.Adam(
+            model.parameters(),
+            lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+        self.schedule = build_schedule(self.config)
+        self.callbacks: List[Callback] = list(callbacks)
+        self.history: List[EpochStats] = []
+        self.stop_training = False
+        self._epoch = 0
+        self._global_step = 0
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------
+    # Resumable state
+    # ------------------------------------------------------------------
+    @property
+    def epochs_completed(self) -> int:
+        return self._epoch
+
+    def save_state(self, path: str) -> str:
+        """Snapshot model + optimizer + RNG streams + counters to one
+        ``.npz`` archive; returns the path written."""
+        return TrainState.capture(self).save(path)
+
+    def load_state(self, path: str) -> TrainState:
+        """Restore a :meth:`save_state` archive into this trainer."""
+        state = TrainState.load(path)
+        state.restore(self)
+        return state
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle hooks (ParallelTrainer overrides these)
+    # ------------------------------------------------------------------
+    def _setup(self, train_samples: Sequence[RecoverySample]) -> None: ...
+
+    def _teardown(self) -> None: ...
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        train_samples: Sequence[RecoverySample],
+        val_samples: Sequence[RecoverySample] = (),
+        progress: Optional[Callable[[EpochStats], None]] = None,
+        checkpoint: Optional[str] = None,
+        checkpoint_every: int = 1,
+        until_epoch: Optional[int] = None,
+    ) -> TrainResult:
+        """Train to ``config.epochs``, resuming from ``checkpoint`` if the
+        archive already exists (and re-checkpointing into it every
+        ``checkpoint_every`` epochs).
+
+        ``until_epoch`` stops early at an epoch boundary *without*
+        touching the config — schedules like ``cosine`` depend on
+        ``config.epochs``, so a partial run that will later be resumed
+        must keep the full-horizon config and bound this call instead.
+        """
+        cfg = self.config
+        stop_at = cfg.epochs if until_epoch is None else min(cfg.epochs, until_epoch)
+        # A previous fit() may have been stopped by a callback; each call
+        # starts willing to train (the callbacks keep their own counters
+        # and may stop again immediately if still warranted).
+        self.stop_training = False
+        pipeline: List[Callback] = [LoggingCallback(cfg.log_every)]
+        pipeline.extend(self.callbacks)
+        if progress is not None:
+            pipeline.append(ProgressCallback(progress))
+        if checkpoint is not None:
+            normalized = checkpoint if checkpoint.endswith(".npz") else checkpoint + ".npz"
+            if os.path.exists(normalized):
+                self.load_state(normalized)
+            pipeline.append(CheckpointCallback(checkpoint, every=checkpoint_every))
+        callbacks = CallbackList(pipeline)
+
+        result = TrainResult(history=list(self.history))
+        if self._epoch >= stop_at:
+            return result
+
+        self._setup(train_samples)
+        try:
+            callbacks.on_train_begin(self)
+            self.model.train()
+            while self._epoch < stop_at and not self.stop_training:
+                stats = self._run_epoch(train_samples, val_samples, callbacks)
+                self.history.append(stats)
+                self._epoch += 1
+                callbacks.on_epoch_end(self, stats)
+            self.model.eval()
+            result = TrainResult(history=list(self.history))
+            callbacks.on_train_end(self, result)
+        finally:
+            self._teardown()
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_epoch(self, train_samples, val_samples, callbacks) -> EpochStats:
+        cfg = self.config
+        epoch = self._epoch
+        start = time.perf_counter()
+        lr = self.schedule.lr_at(epoch)
+        self.optimizer.lr = lr
+        callbacks.on_epoch_begin(self, epoch)
+
+        losses: List[float] = []
+        id_losses: List[float] = []
+        rate_losses: List[float] = []
+        graph_losses: List[float] = []
+        grad_norm = 0.0
+
+        index_batches = list(iterate_batch_indices(
+            train_samples, cfg.batch_size, shuffle=True, seed=cfg.seed + epoch))
+        self.model.zero_grad()
+        step = 0
+        with profile.section("train.epoch"):
+            for group_start in range(0, len(index_batches), cfg.accumulate_steps):
+                group = index_batches[group_start:group_start + cfg.accumulate_steps]
+                for indices in group:
+                    # One seed per batch, drawn from the master stream: the
+                    # scheduled-sampling decisions are identical for a
+                    # serial run, a resumed run, and every gradient-worker
+                    # shard of the same batch.
+                    seed = int(self._rng.integers(0, np.iinfo(np.int64).max))
+                    loss, id_loss, rate_loss_, graph_loss = self._batch_gradients(
+                        train_samples, indices, seed)
+                    losses.append(loss)
+                    id_losses.append(id_loss)
+                    rate_losses.append(rate_loss_)
+                    graph_losses.append(graph_loss)
+                    self._global_step += 1
+                    callbacks.on_step_end(self, StepInfo(
+                        epoch=epoch, step=step, global_step=self._global_step,
+                        loss=loss, lr=lr))
+                    step += 1
+                if len(group) > 1:
+                    scale = 1.0 / len(group)
+                    for p in self.optimizer.parameters:
+                        if p.grad is not None:
+                            p.grad = p.grad * scale
+                with profile.section("train.step"):
+                    grad_norm = nn.clip_grad_norm(self.optimizer.parameters,
+                                                  cfg.clip_norm)
+                    self.optimizer.step()
+                    self.model.zero_grad()
+
+        val_acc = None
+        if cfg.validate and len(val_samples):
+            with profile.section("train.validate"):
+                val_acc = quick_accuracy(self.model, val_samples, cfg.batch_size)
+
+        return EpochStats(
+            epoch=epoch,
+            loss=float(np.mean(losses)) if losses else float("nan"),
+            id_loss=float(np.mean(id_losses)) if id_losses else float("nan"),
+            rate_loss=float(np.mean(rate_losses)) if rate_losses else float("nan"),
+            graph_loss=float(np.mean(graph_losses)) if graph_losses else float("nan"),
+            val_accuracy=val_acc,
+            seconds=time.perf_counter() - start,
+            lr=lr,
+            grad_norm=float(grad_norm),
+        )
+
+    # ------------------------------------------------------------------
+    def _batch_gradients(self, samples, indices, seed: int
+                         ) -> Tuple[float, float, float, float]:
+        """Accumulate one batch's gradients into the parameters' ``grad``
+        slots; returns (total, id, rate, graph) loss values."""
+        with profile.section("train.batch"):
+            batch = make_batch([samples[i] for i in indices])
+            breakdown = self.model.compute_loss(
+                batch, teacher_forcing_ratio=self.config.teacher_forcing_ratio,
+                rng=np.random.default_rng(seed))
+            breakdown.total.backward()
+        return (breakdown.total.item(), breakdown.id_loss,
+                breakdown.rate_loss, breakdown.graph_loss)

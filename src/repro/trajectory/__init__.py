@@ -5,6 +5,7 @@ from .dataset import (
     DatasetConfig,
     RecoverySample,
     build_samples,
+    iterate_batch_indices,
     iterate_batches,
     make_batch,
     make_padded_batch,
@@ -26,6 +27,7 @@ __all__ = [
     "DatasetConfig",
     "RecoverySample",
     "build_samples",
+    "iterate_batch_indices",
     "iterate_batches",
     "make_batch",
     "make_padded_batch",

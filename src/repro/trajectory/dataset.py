@@ -274,17 +274,25 @@ def make_padded_batch(samples: Sequence[RecoverySample]) -> Tuple[Batch, List[in
     return make_batch([pad_sample_target(s, longest) for s in samples]), lengths
 
 
-def iterate_batches(
+def iterate_batch_indices(
     samples: Sequence[RecoverySample],
     batch_size: int,
     shuffle: bool = False,
     seed: int = 0,
     drop_last: bool = False,
-) -> Iterator[Batch]:
-    """Yield batches, bucketing by (input length, target length)."""
-    buckets: dict[Tuple[int, int], List[RecoverySample]] = {}
-    for sample in samples:
-        buckets.setdefault((sample.input_length, sample.target_length), []).append(sample)
+) -> Iterator[List[int]]:
+    """Yield index lists into ``samples``, bucketing by (input length,
+    target length).
+
+    This is the batch *schedule* without the batch materialization: the
+    parallel trainer shards these index lists across gradient workers
+    (each worker holds the sample list and stacks only its shard), while
+    :func:`iterate_batches` materializes them locally.  Both therefore
+    consume bit-identical schedules for a given (shuffle, seed).
+    """
+    buckets: dict[Tuple[int, int], List[int]] = {}
+    for index, sample in enumerate(samples):
+        buckets.setdefault((sample.input_length, sample.target_length), []).append(index)
 
     rng = np.random.default_rng(seed)
     keys = sorted(buckets)
@@ -297,4 +305,17 @@ def iterate_batches(
             chunk = [bucket[i] for i in order[start : start + batch_size]]
             if drop_last and len(chunk) < batch_size:
                 continue
-            yield make_batch(chunk)
+            yield chunk
+
+
+def iterate_batches(
+    samples: Sequence[RecoverySample],
+    batch_size: int,
+    shuffle: bool = False,
+    seed: int = 0,
+    drop_last: bool = False,
+) -> Iterator[Batch]:
+    """Yield batches, bucketing by (input length, target length)."""
+    for indices in iterate_batch_indices(samples, batch_size, shuffle=shuffle,
+                                         seed=seed, drop_last=drop_last):
+        yield make_batch([samples[i] for i in indices])

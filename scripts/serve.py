@@ -39,6 +39,17 @@ Four subcommands:
              ``{"points": [[x, y], ...], "times": [...], "hour": 12,
              "holiday": false}``; ``GET /stats``; ``GET /healthz``.
 
+             Streaming sessions (``repro.stream``, see docs/streaming.md):
+             ``POST /session/open`` ``{"hour", "holiday"}`` →
+             ``{"session_id"}``; ``POST /session/append``
+             ``{"session_id", "points", "times"}`` streams back the
+             current best recovery (``revised_from`` flags suffix
+             revisions); ``POST /session/finalize`` ``{"session_id"}``
+             returns the exact one-shot-equivalent result and closes the
+             session; ``GET /session/evictions`` lists recent TTL/LRU
+             evictions (session stores are bounded; a full store answers
+             ``/session/open`` with 429).
+
 ``cluster``  multi-city sharded serving behind one HTTP front door, driven
              by a TOML/JSON shard-map file (see docs/cluster.md) or a
              quick ``--datasets`` list (each city trains a small model at
@@ -90,6 +101,12 @@ from repro.serve import (  # noqa: E402
     RecoveryService,
     RequestError,
     ServeConfig,
+)
+from repro.stream import (  # noqa: E402
+    SessionOverloaded,
+    StreamConfig,
+    StreamingRecoveryService,
+    UnknownSession,
 )
 from repro.train import (  # noqa: E402
     Trainer,
@@ -212,11 +229,37 @@ def _response_payload(response) -> dict:
         "model": response.model,
         "model_tag": response.model_tag,
         "shard": response.shard,
+        "session_id": response.session_id,
+        "revised_from": response.revised_from,
     }
+
+
+def _update_payload(update) -> dict:
+    """JSON body for one streaming append (``StreamUpdate``)."""
+    payload = {
+        "session_id": update.session_id,
+        "grid_length": update.grid_length,
+        "committed_steps": update.committed_steps,
+        "revised_from": update.revised_from,
+        "decoded_steps": update.decoded_steps,
+        "skipped_steps": update.skipped_steps,
+        "latency_ms": round(update.latency_ms, 3),
+        "model": update.model,
+        "model_tag": update.model_tag,
+        "shard": update.shard,
+    }
+    if update.trajectory is not None:
+        payload.update({
+            "segments": update.trajectory.segments.tolist(),
+            "ratios": [round(float(r), 6) for r in update.trajectory.ratios],
+            "times": update.trajectory.times.tolist(),
+        })
+    return payload
 
 
 class _Handler(BaseHTTPRequestHandler):
     service: RecoveryService = None  # set by run_http
+    streaming: StreamingRecoveryService = None  # set by run_http
 
     def _send(self, code: int, payload: dict) -> None:
         body = json.dumps(payload).encode()
@@ -233,25 +276,56 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path == "/healthz":
             self._send(200, {"status": "ok"})
         elif self.path == "/stats":
-            self._send(200, self.service.stats())
+            stats = self.service.stats()
+            stats["sessions"] = self.streaming.store.stats()
+            self._send(200, stats)
+        elif self.path == "/session/evictions":
+            self._send(200, {"evictions": self.streaming.evictions()})
         else:
             self._send(404, {"error": f"unknown path {self.path}"})
 
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length", "0"))
+        return json.loads(self.rfile.read(length) or b"{}")
+
     def do_POST(self) -> None:
-        if self.path != "/recover":
-            self._send(404, {"error": f"unknown path {self.path}"})
-            return
         try:
-            try:
-                length = int(self.headers.get("Content-Length", "0"))
-                payload = json.loads(self.rfile.read(length) or b"{}")
-                request = _parse_request(payload)
-            except (KeyError, TypeError, ValueError) as exc:
-                self._send(400, {"error": str(exc)})
-                return
-            response = self.service.recover(request, timeout=300.0)
-            self._send(200, _response_payload(response))
-        except RequestError as exc:  # ingest rejected the trace
+            if self.path == "/recover":
+                try:
+                    request = _parse_request(self._body())
+                except (KeyError, TypeError, ValueError) as exc:
+                    self._send(400, {"error": str(exc)})
+                    return
+                response = self.service.recover(request, timeout=300.0)
+                self._send(200, _response_payload(response))
+            elif self.path == "/session/open":
+                payload = self._body()
+                session_id = self.streaming.open(
+                    session_id=payload.get("session_id"),
+                    hour=int(payload.get("hour", 12)),
+                    holiday=bool(payload.get("holiday", False)))
+                self._send(200, {"session_id": session_id})
+            elif self.path == "/session/append":
+                payload = self._body()
+                update = self.streaming.append(
+                    str(payload["session_id"]),
+                    payload["points"], payload["times"])
+                self._send(200, _update_payload(update))
+            elif self.path == "/session/finalize":
+                payload = self._body()
+                response = self.streaming.finalize(str(payload["session_id"]))
+                self._send(200, _response_payload(response))
+            else:
+                self._send(404, {"error": f"unknown path {self.path}"})
+        except SessionOverloaded as exc:  # bounded session store sheds
+            self._send(429, {"error": str(exc)})
+        except UnknownSession as exc:  # expired/evicted/finalized
+            self._send(404, {"error": str(exc)})
+        except RequestError as exc:  # ingest rejected the trace/append
+            self._send(400, {"error": str(exc)})
+        except KeyError as exc:  # missing JSON field
+            self._send(400, {"error": f"missing field {exc}"})
+        except (TypeError, ValueError) as exc:
             self._send(400, {"error": str(exc)})
         except Exception as exc:  # timeouts / model faults are server errors
             self._send(500, {"error": str(exc)})
@@ -384,16 +458,28 @@ def run_cluster(args) -> None:
 
 def run_http(args) -> None:
     service, _ = build_service(args, need_samples=False)
+    # The streaming facade shares the registry (hot swaps reach both
+    # traffic classes) and the telemetry (one /stats splits them).
+    streaming = StreamingRecoveryService(
+        service.registry,
+        StreamConfig.from_serve(service.config,
+                                commit_horizon=args.commit_horizon,
+                                capacity=args.session_capacity,
+                                ttl_seconds=args.session_ttl),
+        telemetry=service.telemetry)
     _Handler.service = service
+    _Handler.streaming = streaming
     server = ThreadingHTTPServer((args.host, args.port), _Handler)
     print(f"Serving recovery API on http://{args.host}:{args.port} "
-          f"(POST /recover, GET /stats, GET /healthz); Ctrl-C to stop")
+          f"(POST /recover /session/open /session/append /session/finalize, "
+          f"GET /stats /healthz /session/evictions); Ctrl-C to stop")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.server_close()
+        streaming.close()
         service.close()
         print(json.dumps(service.stats(), indent=1))
 
@@ -442,6 +528,12 @@ def main(argv=None) -> None:
         else:
             p.add_argument("--host", default="127.0.0.1")
             p.add_argument("--port", type=int, default=8008)
+            p.add_argument("--commit-horizon", type=int, default=8,
+                           help="streaming: newest ε_ρ steps kept revisable")
+            p.add_argument("--session-capacity", type=int, default=256,
+                           help="streaming: max resident sessions")
+            p.add_argument("--session-ttl", type=float, default=1800.0,
+                           help="streaming: idle session lifetime (seconds)")
 
     c = sub.add_parser("cluster", help="sharded multi-city HTTP front door")
     c.add_argument("--shard-map", default=None,

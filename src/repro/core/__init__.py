@@ -1,7 +1,7 @@
 """RNTrajRec core: the paper's primary contribution."""
 
 from .config import RNTrajRecConfig
-from .decoder import DecoderOutput, RecoveryDecoder
+from .decoder import DecoderOutput, GreedyCarry, RecoveryDecoder
 from .gps_former import ENV_CONTEXT_DIM, EncoderOutput, GPSFormer, GPSFormerBlock
 from .graph_refinement import (
     ConcatFusion,
@@ -22,6 +22,7 @@ from .train import EpochStats, TrainConfig, Trainer, TrainResult, quick_accuracy
 __all__ = [
     "RNTrajRecConfig",
     "DecoderOutput",
+    "GreedyCarry",
     "RecoveryDecoder",
     "ENV_CONTEXT_DIM",
     "EncoderOutput",

@@ -48,6 +48,26 @@ class DecoderOutput:
     rates: Tensor               # (b, l_ρ)
 
 
+@dataclass
+class GreedyCarry:
+    """Raw recurrent state of the greedy kernel between two decode spans.
+
+    Greedy decoding is stepwise-causal: everything step j needs from steps
+    < j is this carry — the GRU state, the previous segment's embedding and
+    rate (the step's inputs), and the previous segment id (for the
+    reachability mask).  Splitting a decode at any step and resuming from
+    the carry therefore replays the exact floating-point op sequence of the
+    unsplit decode, which is what the streaming engine's replay + suffix
+    path builds on (asserted bit-for-bit by ``tests/test_stream.py``).
+    """
+
+    state: np.ndarray                     # (b, d) GRU hidden state
+    prev_embed: np.ndarray                # (b, d) previous segment embedding
+    prev_rate: np.ndarray                 # (b, 1) previous moving ratio
+    prev_segments: Optional[np.ndarray]   # (b,) previous segment ids (None
+                                          # before the first decoded step)
+
+
 class RecoveryDecoder(nn.Module):
     """Multi-task GRU decoder over road segments and moving ratios."""
 
@@ -186,39 +206,95 @@ class RecoveryDecoder(nn.Module):
         normalizer is a constant per row and cannot change the argmax.
         """
         with profile.section("decode.greedy"):
+            carry = self.initial_carry(initial_state.data)
+            segments, rates, _ = self._greedy_kernel(
+                encoder_outputs.data, carry, target_length, constraint,
+                reachability,
+            )
+            return segments, rates
+
+    # ------------------------------------------------------------------
+    # Split greedy decoding (the streaming engine's primitives)
+    # ------------------------------------------------------------------
+    def initial_carry(self, initial_state: np.ndarray) -> GreedyCarry:
+        """The carry a greedy decode starts from: the encoder's trajectory
+        feature as GRU state, the learned start embedding, rate 0."""
+        initial_state = np.asarray(initial_state)
+        b = initial_state.shape[0]
+        return GreedyCarry(
+            state=initial_state,
+            prev_embed=self.start_embedding.data.reshape(1, -1) * np.ones((b, 1)),
+            prev_rate=np.zeros((b, 1)),
+            prev_segments=None,
+        )
+
+    def decode_greedy_from(
+        self,
+        encoder_outputs,
+        carry: GreedyCarry,
+        num_steps: int,
+        constraint: Optional[np.ndarray],
+        reachability: Optional["ReachabilityMask"] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, GreedyCarry]:
+        """Greedy-decode ``num_steps`` more steps from a carry.
+
+        ``constraint`` covers exactly the decoded span — (b, num_steps, |V|)
+        — not the whole grid.  With ``carry = initial_carry(...)`` this IS
+        :meth:`decode_greedy`; with the carry returned by
+        :meth:`replay_greedy` over a committed prefix it continues the
+        decode bit-identically to the unsplit run (the reachability mask at
+        the first step uses ``carry.prev_segments``, exactly as the full
+        decode would use the prefix's last prediction).
+        """
+        with profile.section("decode.greedy"):
+            enc = getattr(encoder_outputs, "data", encoder_outputs)
+            return self._greedy_kernel(enc, carry, num_steps, constraint,
+                                       reachability)
+
+    def replay_greedy(
+        self,
+        encoder_outputs,
+        carry: GreedyCarry,
+        segments: np.ndarray,
+    ) -> Tuple[np.ndarray, GreedyCarry]:
+        """Advance the greedy carry along an already-decided segment path.
+
+        Replays attention + GRU + rate head for each step of ``segments``
+        (b, n) **without** the |V|-wide segment head, the constraint mask
+        materialization or the argmax — the decisions are given.  Costs
+        O(l_τ·d + d²) per step instead of O(d·|V|), which is what makes
+        re-synchronizing a session's committed prefix against fresh encoder
+        outputs cheap.  Given the same encoder outputs and the same
+        decisions, state and rates are bit-identical to the full kernel's
+        (same op order; the skipped logits/argmax never feed the state).
+        """
+        with profile.section("decode.replay"):
+            enc = getattr(encoder_outputs, "data", encoder_outputs)
             attention, gru = self.attention, self.gru
             w_g, v = attention.w_g.weight.data, attention.v.data
             w_z, b_z = gru.w_z.data, gru.b_z.data
             w_r, b_r = gru.w_r.data, gru.b_r.data
             w_c, b_c = gru.w_c.data, gru.b_c.data
-            head = self.segment_head.weight.data
             rate_w = self.rate_head.weight.data
             rate_b = self.rate_head.bias.data
             embed_table = self.segment_embedding.weight.data
 
-            enc = encoder_outputs.data
+            segments = np.asarray(segments, dtype=np.int64)
             b, length = enc.shape[0], enc.shape[1]
-            keys = enc @ attention.w_h.weight.data  # W_h·enc, constant per decode
-            state = initial_state.data
-            prev_embed = self.start_embedding.data.reshape(1, -1) * np.ones((b, 1))
-            prev_rate = np.zeros((b, 1))
+            n = segments.shape[1]
+            keys = enc @ attention.w_h.weight.data
+            state, prev_embed, prev_rate = (
+                carry.state, carry.prev_embed, carry.prev_rate)
+            prev_segments = carry.prev_segments
 
-            segments = np.zeros((b, target_length), dtype=np.int64)
-            rates = np.zeros((b, target_length))
-            for j in range(target_length):
-                # No step mutates the mask, so a view (not a copy) is safe.
-                mask_row = constraint[:, j, :] if constraint is not None else None
-                if reachability is not None and j > 0:
-                    mask_row = reachability.combine(mask_row, segments[:, j - 1],
-                                                    self.num_segments)
-                # Additive attention (Eq. 14), mirroring AdditiveAttention.
+            rates = np.zeros((b, n))
+            for j in range(n):
                 energy = np.tanh((state @ w_g).reshape(b, 1, -1) + keys) @ v
                 scores = energy.reshape(b, length)
                 shifted = scores - scores.max(axis=-1, keepdims=True)
                 exp = np.exp(shifted)
                 weights = exp / exp.sum(axis=-1, keepdims=True)
                 context = (weights.reshape(b, 1, -1) @ enc).reshape(b, -1)
-                # GRU cell (Eq. 15), mirroring nn.GRUCell.forward.
                 x = np.concatenate([prev_embed, prev_rate, context], axis=-1)
                 hx = np.concatenate([state, x], axis=-1)
                 z = _sigmoid(hx @ w_z + b_z)
@@ -226,20 +302,79 @@ class RecoveryDecoder(nn.Module):
                 rhx = np.concatenate([r * state, x], axis=-1)
                 c = np.tanh(rhx @ w_c + b_c)
                 state = (1.0 - z) * state + z * c
-                # Segment head + Eq. 16 mask, argmax only.
-                logits = state @ head
-                if mask_row is not None:
-                    logits = logits + np.log(np.maximum(mask_row, 1e-12))
-                predicted = np.argmax(logits, axis=-1)
-                segments[:, j] = predicted
-                # Rate head (Eq. 17), mirroring _rate.
-                prev_embed = embed_table[predicted]
+                prev_segments = segments[:, j]
+                prev_embed = embed_table[prev_segments]
                 rate = _sigmoid(
                     np.concatenate([prev_embed, state], axis=-1) @ rate_w + rate_b
                 )
                 rates[:, j] = np.clip(rate.reshape(b), 0.0, 1.0 - 1e-9)
                 prev_rate = rates[:, j][:, None]
-            return segments, rates
+            return rates, GreedyCarry(state, prev_embed, prev_rate, prev_segments)
+
+    def _greedy_kernel(
+        self,
+        enc: np.ndarray,
+        carry: GreedyCarry,
+        num_steps: int,
+        constraint: Optional[np.ndarray],
+        reachability: Optional["ReachabilityMask"],
+    ) -> Tuple[np.ndarray, np.ndarray, GreedyCarry]:
+        """The shared raw-numpy greedy step loop (see :meth:`decode_greedy`)."""
+        attention, gru = self.attention, self.gru
+        w_g, v = attention.w_g.weight.data, attention.v.data
+        w_z, b_z = gru.w_z.data, gru.b_z.data
+        w_r, b_r = gru.w_r.data, gru.b_r.data
+        w_c, b_c = gru.w_c.data, gru.b_c.data
+        head = self.segment_head.weight.data
+        rate_w = self.rate_head.weight.data
+        rate_b = self.rate_head.bias.data
+        embed_table = self.segment_embedding.weight.data
+
+        b, length = enc.shape[0], enc.shape[1]
+        keys = enc @ attention.w_h.weight.data  # W_h·enc, constant per decode
+        state, prev_embed, prev_rate = (
+            carry.state, carry.prev_embed, carry.prev_rate)
+        prev_segments = carry.prev_segments
+
+        segments = np.zeros((b, num_steps), dtype=np.int64)
+        rates = np.zeros((b, num_steps))
+        for j in range(num_steps):
+            # No step mutates the mask, so a view (not a copy) is safe.
+            mask_row = constraint[:, j, :] if constraint is not None else None
+            if reachability is not None and prev_segments is not None:
+                mask_row = reachability.combine(mask_row, prev_segments,
+                                                self.num_segments)
+            # Additive attention (Eq. 14), mirroring AdditiveAttention.
+            energy = np.tanh((state @ w_g).reshape(b, 1, -1) + keys) @ v
+            scores = energy.reshape(b, length)
+            shifted = scores - scores.max(axis=-1, keepdims=True)
+            exp = np.exp(shifted)
+            weights = exp / exp.sum(axis=-1, keepdims=True)
+            context = (weights.reshape(b, 1, -1) @ enc).reshape(b, -1)
+            # GRU cell (Eq. 15), mirroring nn.GRUCell.forward.
+            x = np.concatenate([prev_embed, prev_rate, context], axis=-1)
+            hx = np.concatenate([state, x], axis=-1)
+            z = _sigmoid(hx @ w_z + b_z)
+            r = _sigmoid(hx @ w_r + b_r)
+            rhx = np.concatenate([r * state, x], axis=-1)
+            c = np.tanh(rhx @ w_c + b_c)
+            state = (1.0 - z) * state + z * c
+            # Segment head + Eq. 16 mask, argmax only.
+            logits = state @ head
+            if mask_row is not None:
+                logits = logits + np.log(np.maximum(mask_row, 1e-12))
+            predicted = np.argmax(logits, axis=-1)
+            segments[:, j] = predicted
+            prev_segments = predicted
+            # Rate head (Eq. 17), mirroring _rate.
+            prev_embed = embed_table[predicted]
+            rate = _sigmoid(
+                np.concatenate([prev_embed, state], axis=-1) @ rate_w + rate_b
+            )
+            rates[:, j] = np.clip(rate.reshape(b), 0.0, 1.0 - 1e-9)
+            prev_rate = rates[:, j][:, None]
+        return segments, rates, GreedyCarry(state, prev_embed, prev_rate,
+                                            prev_segments)
 
 
     # ------------------------------------------------------------------

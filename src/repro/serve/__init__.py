@@ -17,6 +17,7 @@ from .request import (
     RequestError,
     assemble_sample,
     grid_alignment,
+    validate_append_times,
 )
 from .service import RecoveryService, ServeConfig
 from .telemetry import ServingTelemetry
@@ -36,6 +37,7 @@ __all__ = [
     "RequestError",
     "assemble_sample",
     "grid_alignment",
+    "validate_append_times",
     "RecoveryService",
     "ServeConfig",
     "ServingTelemetry",

@@ -74,6 +74,13 @@ class RecoveryResponse:
     operator rolling out a new model can watch the tag flip per shard.
     ``shard`` is the serving shard's label (empty for a standalone
     service).
+
+    Streaming responses (``repro.stream``) additionally carry the
+    ``session_id`` that produced them and ``revised_from`` — the first
+    grid-step index whose recovered segment changed relative to the last
+    result streamed for the same session (−1 when nothing was revised).
+    One-shot responses keep the defaults, so the two traffic classes are
+    distinguishable in logs and telemetry.
     """
 
     request_id: str
@@ -83,6 +90,8 @@ class RecoveryResponse:
     model: str = ""
     model_tag: str = ""
     shard: str = ""
+    session_id: str = ""
+    revised_from: int = -1
 
 
 @dataclass(frozen=True)
@@ -92,6 +101,44 @@ class IngestConfig:
     interval: float = 12.0        # ε_ρ output grid spacing (seconds)
     beta: float = 15.0            # constraint-mask kernel scale (meters)
     max_gps_error: float = 100.0  # constraint-mask search radius (meters)
+
+
+def validate_append_times(times: np.ndarray,
+                          last_time: Optional[float] = None) -> np.ndarray:
+    """Validate a streaming append's timestamps; returns them as float64.
+
+    Whole-trace requests get monotonicity checked once, at ``raw()`` time.
+    Streaming clients instead deliver fixes in dribs and drabs, and
+    out-of-order or duplicated fixes are their bread-and-butter failure
+    mode (buffered radios flush old points, retries re-send the last one).
+    This is the append path's typed gate: every fix must be finite,
+    strictly increasing *within* the chunk, and strictly after
+    ``last_time`` (the session's newest accepted fix).  Violations raise
+    :class:`RequestError` naming the offense, so HTTP layers can map them
+    to 400 instead of tearing down the session.
+    """
+    times = np.atleast_1d(np.asarray(times, dtype=np.float64))
+    if times.ndim != 1 or len(times) == 0:
+        raise RequestError("an append needs a non-empty 1-D times array")
+    if not np.all(np.isfinite(times)):
+        raise RequestError("append timestamps must be finite")
+    diffs = np.diff(times)
+    if np.any(diffs == 0):
+        raise RequestError(
+            f"duplicate timestamp in append chunk: {times.tolist()}")
+    if np.any(diffs < 0):
+        raise RequestError(
+            f"out-of-order timestamps in append chunk: {times.tolist()}")
+    if last_time is not None:
+        if times[0] == last_time:
+            raise RequestError(
+                f"duplicate timestamp {times[0]}: the session already has a "
+                "fix at that time")
+        if times[0] < last_time:
+            raise RequestError(
+                f"out-of-order append: timestamp {times[0]} is before the "
+                f"session's newest fix at {last_time}")
+    return times
 
 
 def grid_alignment(times: np.ndarray, interval: float) -> tuple:

@@ -32,10 +32,18 @@ class ServingTelemetry:
         # makes hot swaps observable: after a swap the new tag's count
         # starts climbing while the old one freezes.
         self.requests_by_model: Dict[str, int] = {}
+        # Streaming traffic (repro.stream session appends/finalizes) kept
+        # apart from one-shot traffic, plus how often an append *revised*
+        # previously streamed output — per model tag, so an operator can
+        # compare revision rates across a rollout.
+        self.streaming_requests = 0
+        self.streaming_by_model: Dict[str, int] = {}
+        self.revisions_by_model: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def record_request(self, latency_seconds: float, cache_hit: bool,
-                       model_tag: str = "") -> None:
+                       model_tag: str = "", streaming: bool = False,
+                       revised: bool = False) -> None:
         with self._lock:
             self.requests += 1
             if cache_hit:
@@ -43,6 +51,14 @@ class ServingTelemetry:
             if model_tag:
                 self.requests_by_model[model_tag] = (
                     self.requests_by_model.get(model_tag, 0) + 1)
+            if streaming:
+                self.streaming_requests += 1
+                if model_tag:
+                    self.streaming_by_model[model_tag] = (
+                        self.streaming_by_model.get(model_tag, 0) + 1)
+                    if revised:
+                        self.revisions_by_model[model_tag] = (
+                            self.revisions_by_model.get(model_tag, 0) + 1)
             self._latencies.append(latency_seconds)
 
     def record_error(self) -> None:
@@ -90,4 +106,13 @@ class ServingTelemetry:
                 "mean_batch_occupancy": round(mean_occupancy, 3),
                 "max_batch_occupancy": self.max_batch_occupancy,
                 "requests_by_model": dict(sorted(self.requests_by_model.items())),
+                "streaming_requests": self.streaming_requests,
+                "oneshot_requests": self.requests - self.streaming_requests,
+                "streaming_by_model": dict(sorted(self.streaming_by_model.items())),
+                "revisions_by_model": dict(sorted(self.revisions_by_model.items())),
+                "revision_rate_by_model": {
+                    tag: round(self.revisions_by_model.get(tag, 0) / count, 4)
+                    for tag, count in sorted(self.streaming_by_model.items())
+                    if count
+                },
             }

@@ -1,0 +1,294 @@
+"""The incremental decode engine: extend a recovery instead of redoing it.
+
+One-shot recovery (``RNTrajRec.recover``) pays O(l_ρ) decode steps — each
+with a |V|-wide segment head, constraint-mask materialization and an
+R-tree-backed interpolation prior — every time it runs.  A streaming
+session that re-ran it on every appended fix would pay O(N·l_ρ) over its
+lifetime.  This engine exploits two structural facts:
+
+* **Ingest state is append-only.**  The ε_ρ grid origin is pinned at the
+  session's first fix, so every fix's snapped grid step — and therefore
+  its sparse Eq. 16 constraint entry — never changes once computed.  Each
+  append ingests only the new fixes.
+* **Greedy decoding is stepwise-causal.**  Everything step j consumes
+  from steps < j is the :class:`~repro.core.decoder.GreedyCarry`, so the
+  engine checkpoints the carry at the commit boundary inside the session.
+  An append resumes :meth:`~repro.core.decoder.RecoveryDecoder.\
+decode_greedy_from` (the PR 2 raw-numpy step kernel, attention keys
+  hoisted once per call) from that checkpoint and decodes **only the
+  steps past it** — the still-revisable window behind the commit horizon
+  plus whatever the new fix added — with constraint rows and the
+  interpolation prior built for those steps alone.  Per-append decode
+  work is O(horizon + new steps), independent of session length.
+
+The encoder *is* re-run per append: GPSFormer attends bidirectionally and
+normalizes time by the trace duration, so a new fix legitimately shifts
+every point feature.  That cost is shared with the one-shot baseline and
+is small next to the decode (l_τ ≪ l_ρ, and X_road plus per-point
+sub-graphs are memoized across appends).
+
+Because encoder outputs drift as the trace grows, a committed decision —
+and the checkpointed carry that extends it — is an *approximation* of
+what a from-scratch decode would now pick; that is the commit-horizon
+trade.  ``finalize`` therefore runs the one-shot path (unless the last
+append already decoded from step 0, in which case the split-kernel
+equivalence makes the stored result bit-identical to it), giving the
+exact guarantee: finalize after N appends ≡ one-shot recovery of the
+same N points.  ``tests/test_stream.py`` asserts both halves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import profile
+from ..core.model import RNTrajRec
+from ..nn.tensor import no_grad
+from ..roadnet.network import RoadNetwork
+from ..serve.request import IngestConfig, RequestError, validate_append_times
+from ..trajectory.dataset import (
+    RecoverySample,
+    constraint_for_fix,
+    make_batch,
+)
+from ..trajectory.resample import epsilon_grid
+from ..trajectory.trajectory import MatchedTrajectory, RawTrajectory
+from .session import SessionState
+
+
+@dataclass(frozen=True)
+class DecodeOutcome:
+    """One append's decode result and its bookkeeping."""
+
+    segments: np.ndarray      # (l_ρ,) full recovered segment path
+    rates: np.ndarray         # (l_ρ,) moving ratios
+    times: np.ndarray         # (l_ρ,) the ε_ρ grid
+    grid_length: int
+    committed: int            # steps now frozen (≤ grid_length)
+    decoded_steps: int        # steps run through the decode kernel
+    skipped_steps: int        # committed prefix steps not re-decoded
+    revised_from: int         # first step whose segment changed vs the
+                              # session's previous result (-1: none)
+    full_decode: bool         # decode started at step 0 (≡ one-shot)
+
+
+class IncrementalEngine:
+    """Per-network streaming ingest + split-decode engine."""
+
+    def __init__(self, network: RoadNetwork,
+                 ingest: Optional[IngestConfig] = None) -> None:
+        self.network = network
+        self.ingest = ingest or IngestConfig()
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def append_fixes(self, session: SessionState, xy, times) -> int:
+        """Validate and ingest new fixes; returns how many were added.
+
+        Constraint entries are computed for the new fixes only — the grid
+        origin is the session's first fix, so earlier steps are stable.
+        Raises :class:`RequestError` on out-of-order/duplicate timestamps,
+        non-finite coordinates, or fixes that land on an already-observed
+        ε_ρ step (same rule as one-shot ``assemble_sample``).
+        """
+        times = validate_append_times(times, session.last_time)
+        xy = np.asarray(xy, dtype=np.float64)
+        if xy.ndim == 1:
+            xy = xy.reshape(1, -1)
+        if xy.shape != (len(times), 2):
+            raise RequestError(
+                f"append points must be ({len(times)}, 2); got {xy.shape}")
+        if not np.all(np.isfinite(xy)):
+            raise RequestError("GPS positions must be finite")
+
+        interval = self.ingest.interval
+        t0 = float(session.times[0]) if session.num_fixes else float(times[0])
+        steps = np.round((times - t0) / interval).astype(np.int64)
+        trail = np.concatenate(([session.last_step], steps))
+        if np.any(np.diff(trail) <= 0):
+            raise RequestError(
+                "appended fixes must map to distinct increasing ε_ρ steps; "
+                f"got {steps.tolist()} after step {session.last_step} for "
+                f"interval {interval}")
+
+        for (x, y), step in zip(xy, steps):
+            session.constraints[int(step)] = constraint_for_fix(
+                self.network, float(x), float(y),
+                self.ingest.beta, self.ingest.max_gps_error)
+            session.observed_steps.append(int(step))
+        session.xy = np.concatenate([session.xy, xy])
+        session.times = np.concatenate([session.times, times])
+        return len(times)
+
+    def sample_for(self, session: SessionState) -> RecoverySample:
+        """The session's current fix set as a target-less recovery sample
+        (same structure one-shot ``assemble_sample`` builds)."""
+        grid_times = epsilon_grid(float(session.times[0]),
+                                  float(session.times[-1]),
+                                  self.ingest.interval)
+        placeholder = MatchedTrajectory(
+            np.zeros(len(grid_times), dtype=np.int64),
+            np.zeros(len(grid_times)),
+            grid_times,
+        )
+        return RecoverySample(
+            raw_low=RawTrajectory(session.xy, session.times),
+            target=placeholder,
+            observed_steps=np.asarray(session.observed_steps, dtype=np.int64),
+            constraints=tuple(
+                session.constraints.get(step)
+                for step in range(len(grid_times))),
+            hour=session.hour,
+            holiday=session.holiday,
+        )
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+    def decode(self, model: RNTrajRec, session: SessionState,
+               commit_horizon: int) -> DecodeOutcome:
+        """Extend the session's recovery from the checkpointed carry.
+
+        Decodes the grid steps past the commit boundary in two chunks of
+        the same kernel — the steps now aging past the horizon (their
+        carry becomes the next checkpoint) and the still-provisional tail
+        — which by the split-kernel equivalence is bit-identical to
+        decoding the span in one call."""
+        sample = self.sample_for(session)
+        batch = make_batch([sample])
+        length = sample.target_length
+        start = int(min(session.committed, length))
+        commit = max(start, length - max(int(commit_horizon), 0))
+
+        with no_grad(), profile.section("stream.decode"):
+            with profile.section("model.encode"):
+                encoded = model.encode(batch)
+            enc = encoded.point_features.data
+            if start and session.carry is not None:
+                carry = session.carry
+            else:
+                start = 0
+                commit = max(0, length - max(int(commit_horizon), 0))
+                carry = model.decoder.initial_carry(
+                    encoded.trajectory_feature.data)
+            constraint = self._suffix_constraint(model, sample, start)
+            chunks = []
+            if commit > start:  # steps committing now: checkpoint their carry
+                seg, rate, carry = model.decoder.decode_greedy_from(
+                    enc, carry, commit - start,
+                    constraint[:, :commit - start],
+                    reachability=model.reachability)
+                chunks.append((seg[0], rate[0]))
+            if length > commit:  # the provisional tail (carry discarded)
+                seg, rate, _ = model.decoder.decode_greedy_from(
+                    enc, carry, length - commit,
+                    constraint[:, commit - start:],
+                    reachability=model.reachability)
+                chunks.append((seg[0], rate[0]))
+
+        segments = np.concatenate(
+            [session.segments[:start]] + [seg for seg, _ in chunks])
+        rates = np.concatenate(
+            [session.rates[:start]] + [rate for _, rate in chunks])
+
+        revised_from = self._first_revision(session.segments, segments, start)
+        outcome = DecodeOutcome(
+            segments=segments, rates=rates, times=sample.target.times,
+            grid_length=length, committed=commit,
+            decoded_steps=length - start, skipped_steps=start,
+            revised_from=revised_from, full_decode=(start == 0),
+        )
+        session.segments = segments
+        session.rates = rates
+        session.committed = commit
+        session.carry = carry  # the carry at the (new) commit boundary
+        session.full_decode = outcome.full_decode
+        if revised_from >= 0:
+            session.revisions += 1
+        return outcome
+
+    def finalize(self, model: RNTrajRec,
+                 session: SessionState) -> Tuple[MatchedTrajectory, int, bool]:
+        """The exact recovery of the session's full fix set.
+
+        Returns (trajectory, revised_from vs the last streamed result,
+        whether a fresh full decode ran).  When the last append already
+        decoded from step 0 — short sessions that never crossed the commit
+        horizon — the stored result is bit-identical to the one-shot path
+        (split-kernel equivalence) and is returned without another decode.
+        """
+        sample = self.sample_for(session)
+        with profile.section("stream.finalize"):
+            if session.full_decode and len(session.segments) == sample.target_length:
+                segments, rates = session.segments, session.rates
+                decoded = False
+            else:
+                seg2d, rate2d = model.recover(make_batch([sample]))
+                segments, rates = seg2d[0], rate2d[0]
+                decoded = True
+        revised_from = self._first_revision(session.segments, segments, 0)
+        trajectory = MatchedTrajectory(segments, rates, sample.target.times)
+        return trajectory, revised_from, decoded
+
+    # ------------------------------------------------------------------
+    def _suffix_constraint(self, model: RNTrajRec, sample: RecoverySample,
+                           start: int) -> np.ndarray:
+        """(1, l_ρ-start, |V|) constraint rows for the decoded suffix only.
+
+        Row values are identical to slicing the full-grid tensor the
+        one-shot path builds (``constraint_tensor * interpolation_prior``)
+        at ``[start:]`` — per-step values never depend on other steps —
+        but only the suffix rows are materialized and only the suffix's
+        distinct interpolated positions hit the R-tree.
+        """
+        num_segments = self.network.num_segments
+        length = sample.target_length
+        n = length - start
+        mask = np.ones((n, num_segments), dtype=np.float64)
+        for step, entry in enumerate(sample.constraints[start:]):
+            if entry is None:
+                continue
+            mask[step] = 0.0
+            mask[step, entry[0]] = entry[1]
+
+        config = model.config
+        if config.decode_prior_scale > 0:
+            scale, floor = config.decode_prior_scale, config.decode_prior_floor
+            low = sample.raw_low
+            times = sample.target.times[start:]
+            positions = np.stack([
+                np.interp(times, low.times, low.xy[:, 0]),
+                np.interp(times, low.times, low.xy[:, 1]),
+            ], axis=1)
+            prior = np.full((n, num_segments), floor)
+            _, first, inverse = np.unique(positions, axis=0, return_index=True,
+                                          return_inverse=True)
+            inverse = inverse.reshape(-1)
+            order = np.argsort(inverse, kind="stable")
+            boundaries = np.searchsorted(inverse[order],
+                                         np.arange(len(first) + 1))
+            for u, representative in enumerate(first):
+                x, y = positions[representative]
+                ids, dists = self.network.segments_within_arrays(
+                    float(x), float(y), 3.0 * scale)
+                if not len(ids):
+                    continue
+                weights = np.maximum(np.exp(-(dists / scale) ** 2), floor)
+                rows = order[boundaries[u]:boundaries[u + 1]]
+                prior[np.ix_(rows, ids)] = weights
+            mask = mask * prior
+        return mask[None, :, :]
+
+    @staticmethod
+    def _first_revision(old: np.ndarray, new: np.ndarray, start: int) -> int:
+        """First index where the new result contradicts the old one (-1 if
+        the old result is a prefix-consistent subset of the new)."""
+        overlap = min(len(old), len(new))
+        if overlap <= start:
+            return -1
+        changed = np.nonzero(old[start:overlap] != new[start:overlap])[0]
+        return int(changed[0]) + start if len(changed) else -1

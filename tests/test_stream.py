@@ -1,0 +1,520 @@
+"""Tests for ``repro.stream`` — sessionized incremental trajectory recovery.
+
+The load-bearing assertion is the correctness anchor: ``finalize()`` after
+N appends must reproduce the one-shot ``recover()`` of the same N fixes
+bit-for-bit, across sampling gaps (ε_τ/ε_ρ of 8 and 4), append chunk
+sizes and commit horizons.  Around it: the bounded session store (TTL,
+LRU, backpressure), the typed append validation, the decoder's
+split/replay kernel invariants, telemetry, and session→shard affinity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import RecoveryCluster, RouteError, side_by_side
+from repro.core import RNTrajRec, RNTrajRecConfig
+from repro.datasets import load_dataset
+from repro.serve import (
+    RecoveryRequest,
+    RequestError,
+    assemble_sample,
+    validate_append_times,
+)
+from repro.stream import (
+    IncrementalEngine,
+    SessionOverloaded,
+    SessionState,
+    SessionStore,
+    StoreConfig,
+    StreamConfig,
+    StreamError,
+    StreamingCluster,
+    StreamingRecoveryService,
+    UnknownSession,
+)
+from repro.trajectory import make_batch
+
+TINY = RNTrajRecConfig(hidden_dim=16, num_heads=2, dropout=0.0,
+                       receptive_delta=300.0, max_subgraph_nodes=24)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return load_dataset("chengdu", num_trajectories=40)
+
+
+@pytest.fixture(scope="module")
+def model(data):
+    return RNTrajRec(data.network, TINY).eval()
+
+
+@pytest.fixture(scope="module")
+def data_gap4():
+    """The same city at a denser input sampling (ε_τ/ε_ρ = 4)."""
+    return load_dataset("chengdu", num_trajectories=16, keep_every=4)
+
+
+@pytest.fixture(scope="module")
+def model_gap4(data_gap4):
+    return RNTrajRec(data_gap4.network, TINY).eval()
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 1000.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
+
+
+def _config(data, **overrides) -> StreamConfig:
+    return StreamConfig.for_spec(data.spec, **overrides)
+
+
+def _reference(model, data, sample):
+    """The one-shot recovery of a sample's raw fixes (serving path)."""
+    request = RecoveryRequest(sample.raw_low.xy, sample.raw_low.times,
+                              hour=sample.hour, holiday=sample.holiday)
+    assembled = assemble_sample(request, data.network,
+                                _config(data).ingest())
+    return model.recover_trajectories(make_batch([assembled]))[0]
+
+
+def _drive(service, sample, chunk):
+    """Stream a sample's fixes in ``chunk``-sized appends; returns
+    (session_id, updates, finalize response)."""
+    session_id = service.open(hour=sample.hour, holiday=sample.holiday)
+    raw = sample.raw_low
+    updates = []
+    for start in range(0, len(raw), chunk):
+        stop = min(start + chunk, len(raw))
+        updates.append(service.append(session_id, raw.xy[start:stop],
+                                      raw.times[start:stop]))
+    return session_id, updates, service.finalize(session_id)
+
+
+# ---------------------------------------------------------------------------
+# Session store: TTL, LRU, backpressure, bounded memory
+# ---------------------------------------------------------------------------
+class TestSessionStore:
+    def _store(self, **overrides):
+        clock = FakeClock()
+        params = dict(capacity=4, ttl_seconds=100.0)
+        params.update(overrides)
+        return SessionStore(StoreConfig(**params), clock=clock), clock
+
+    def test_ttl_expires_idle_sessions(self):
+        store, clock = self._store(ttl_seconds=30.0)
+        store.open(SessionState("a"))
+        clock.advance(10.0)
+        store.open(SessionState("b"))
+        clock.advance(25.0)  # a idle 35s, b idle 25s
+        with pytest.raises(UnknownSession):
+            store.get("a")
+        assert store.get("b").session_id == "b"
+        records = store.evictions()
+        assert [r["session_id"] for r in records] == ["a"]
+        assert records[0]["reason"] == "ttl"
+        assert store.stats()["expired_ttl"] == 1
+
+    def test_lru_eviction_under_capacity_pressure(self):
+        store, clock = self._store(capacity=2)
+        store.open(SessionState("a"))
+        clock.advance(1.0)
+        store.open(SessionState("b"))
+        clock.advance(1.0)
+        store.get("a")  # b is now least recently used
+        store.open(SessionState("c"))
+        assert "a" in store and "c" in store and "b" not in store
+        record = store.evictions()[-1]
+        assert record["session_id"] == "b" and record["reason"] == "lru"
+
+    def test_backpressure_sheds_when_nothing_is_idle_enough(self):
+        store, clock = self._store(capacity=1, evict_idle_seconds=60.0)
+        store.open(SessionState("busy"))
+        clock.advance(5.0)  # idle 5s < 60s: not evictable
+        with pytest.raises(SessionOverloaded):
+            store.open(SessionState("late"))
+        assert store.stats()["shed"] == 1
+        assert "busy" in store  # the resident session survived
+        clock.advance(60.0)  # now idle long enough -> eviction beats shedding
+        store.open(SessionState("late"))
+        assert "late" in store and "busy" not in store
+
+    def test_memory_stays_bounded_under_session_churn(self):
+        store, clock = self._store(capacity=8, eviction_log=16)
+        for i in range(40):
+            store.open(SessionState(f"s{i}"))
+            clock.advance(0.1)
+            assert len(store) <= 8
+        stats = store.stats()
+        assert stats["active_sessions"] == 8
+        assert stats["evicted_lru"] == 32
+        assert len(store.evictions()) == 16  # the record ring is bounded too
+
+    def test_duplicate_open_and_finalize_remove(self):
+        store, _ = self._store()
+        store.open(SessionState("a"))
+        with pytest.raises(StreamError):
+            store.open(SessionState("a"))
+        store.remove("a")
+        assert store.stats()["finalized"] == 1
+        assert store.evictions() == []  # completion is not an eviction
+        with pytest.raises(UnknownSession):
+            store.remove("a")
+
+
+# ---------------------------------------------------------------------------
+# Append validation: the typed RequestError gate
+# ---------------------------------------------------------------------------
+class TestAppendValidation:
+    def test_rejects_malformed_chunks(self):
+        with pytest.raises(RequestError, match="non-empty"):
+            validate_append_times([])
+        with pytest.raises(RequestError, match="finite"):
+            validate_append_times([0.0, np.nan])
+        with pytest.raises(RequestError, match="duplicate"):
+            validate_append_times([0.0, 96.0, 96.0])
+        with pytest.raises(RequestError, match="out-of-order"):
+            validate_append_times([0.0, 96.0, 48.0])
+
+    def test_rejects_chunks_behind_the_session(self):
+        with pytest.raises(RequestError, match="duplicate"):
+            validate_append_times([96.0], last_time=96.0)
+        with pytest.raises(RequestError, match="out-of-order"):
+            validate_append_times([48.0], last_time=96.0)
+        out = validate_append_times([192.0, 288.0], last_time=96.0)
+        assert out.dtype == np.float64 and len(out) == 2
+
+    def test_service_append_rejections_are_typed(self, data, model):
+        service = StreamingRecoveryService.from_model(model, _config(data))
+        sample = data.test[0]
+        raw = sample.raw_low
+        sid = service.open()
+        service.append(sid, raw.xy[:2], raw.times[:2])
+        with pytest.raises(RequestError):  # behind the session's newest fix
+            service.append(sid, raw.xy[:1], raw.times[:1])
+        with pytest.raises(RequestError):  # same ε_ρ step as an old fix
+            service.append(sid, raw.xy[2:3], raw.times[1:2] + 0.001)
+        with pytest.raises(RequestError):  # NaN coordinates
+            service.append(sid, np.array([[np.nan, 0.0]]),
+                           raw.times[2:3])
+        with pytest.raises(RequestError):  # shape mismatch
+            service.append(sid, raw.xy[2:4], raw.times[2:3])
+        # The session survived every rejection and still accepts fixes.
+        update = service.append(sid, raw.xy[2:3], raw.times[2:3])
+        assert update.grid_length > 0
+        assert service.telemetry.stats()["errors"] == 4
+
+    def test_open_on_a_finalized_or_unknown_session_fails(self, data, model):
+        service = StreamingRecoveryService.from_model(model, _config(data))
+        with pytest.raises(UnknownSession):
+            service.append("nope", np.zeros((1, 2)), [0.0])
+        sample = data.test[0]
+        sid, _, _ = _drive(service, sample, chunk=2)
+        with pytest.raises(UnknownSession):  # finalize removed it
+            service.finalize(sid)
+        with pytest.raises(RequestError):  # < 2 fixes cannot finalize
+            sid2 = service.open()
+            service.append(sid2, sample.raw_low.xy[:1],
+                           sample.raw_low.times[:1])
+            service.finalize(sid2)
+
+
+# ---------------------------------------------------------------------------
+# Decoder primitives the engine is built on
+# ---------------------------------------------------------------------------
+class TestDecoderPrimitives:
+    def test_split_decode_is_bit_identical_to_unsplit(self, data, model):
+        batch = make_batch(data.test[:3])
+        encoded = model.encode(batch)
+        from repro.core.decoder import interpolation_prior
+
+        constraint = batch.constraint_tensor(data.network.num_segments)
+        constraint = constraint * interpolation_prior(
+            batch, data.network, model.config.decode_prior_scale,
+            model.config.decode_prior_floor)
+        whole_seg, whole_rate = model.decoder.decode_greedy(
+            encoded.point_features, encoded.trajectory_feature,
+            batch.target_length, constraint, reachability=model.reachability)
+
+        carry = model.decoder.initial_carry(encoded.trajectory_feature.data)
+        parts = []
+        cut = batch.target_length // 2
+        for lo, hi in ((0, cut), (cut, batch.target_length)):
+            seg, rate, carry = model.decoder.decode_greedy_from(
+                encoded.point_features, carry, hi - lo,
+                constraint[:, lo:hi], reachability=model.reachability)
+            parts.append((seg, rate))
+        assert np.array_equal(np.concatenate([p[0] for p in parts], axis=1),
+                              whole_seg)
+        assert np.array_equal(np.concatenate([p[1] for p in parts], axis=1),
+                              whole_rate)
+
+    def test_replay_reproduces_decode_rates_and_carry(self, data, model):
+        batch = make_batch(data.test[:2])
+        encoded = model.encode(batch)
+        constraint = batch.constraint_tensor(data.network.num_segments)
+        carry = model.decoder.initial_carry(encoded.trajectory_feature.data)
+        segments, rates, end_carry = model.decoder.decode_greedy_from(
+            encoded.point_features, carry, batch.target_length, constraint,
+            reachability=model.reachability)
+
+        replay_carry = model.decoder.initial_carry(
+            encoded.trajectory_feature.data)
+        replay_rates, replay_end = model.decoder.replay_greedy(
+            encoded.point_features, replay_carry, segments)
+        assert np.array_equal(replay_rates, rates)
+        assert np.array_equal(replay_end.state, end_carry.state)
+        assert np.array_equal(replay_end.prev_segments,
+                              end_carry.prev_segments)
+
+    def test_suffix_constraint_matches_full_tensor_slice(self, data, model):
+        from repro.core.decoder import interpolation_prior
+
+        sample = data.test[0]
+        engine = IncrementalEngine(data.network, _config(data).ingest())
+        batch = make_batch([sample])
+        full = batch.constraint_tensor(data.network.num_segments)
+        full = full * interpolation_prior(
+            batch, data.network, model.config.decode_prior_scale,
+            model.config.decode_prior_floor)
+        for start in (0, 3, sample.target_length - 1):
+            suffix = engine._suffix_constraint(model, sample, start)
+            assert np.array_equal(suffix, full[:, start:])
+
+
+# ---------------------------------------------------------------------------
+# The correctness anchor: finalize == one-shot, across the matrix
+# ---------------------------------------------------------------------------
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("chunk", [1, 2, 3])
+    @pytest.mark.parametrize("horizon", [0, 2, 64])
+    def test_finalize_equals_oneshot(self, data, model, chunk, horizon):
+        service = StreamingRecoveryService.from_model(
+            model, _config(data, commit_horizon=horizon))
+        for sample in data.test[:2]:
+            expected = _reference(model, data, sample)
+            _, _, response = _drive(service, sample, chunk)
+            got = response.trajectory
+            assert np.array_equal(got.segments, expected.segments)
+            assert np.array_equal(got.ratios, expected.ratios)
+            assert np.array_equal(got.times, expected.times)
+
+    @pytest.mark.parametrize("chunk", [1, 3])
+    def test_finalize_equals_oneshot_at_denser_sampling(
+            self, data_gap4, model_gap4, chunk):
+        service = StreamingRecoveryService.from_model(
+            model_gap4, _config(data_gap4, commit_horizon=2))
+        for sample in data_gap4.test[:2]:
+            expected = _reference(model_gap4, data_gap4, sample)
+            _, _, response = _drive(service, sample, chunk)
+            assert np.array_equal(response.trajectory.segments,
+                                  expected.segments)
+            assert np.array_equal(response.trajectory.ratios,
+                                  expected.ratios)
+
+    def test_committed_prefix_never_changes_after_commit(self, data, model):
+        service = StreamingRecoveryService.from_model(
+            model, _config(data, commit_horizon=2))
+        sample = data.test[0]
+        _, updates, _ = _drive(service, sample, chunk=1)
+        decoded = [u for u in updates if u.trajectory is not None]
+        for earlier, later in zip(decoded, decoded[1:]):
+            frozen = earlier.committed_steps
+            assert later.committed_steps >= frozen
+            assert np.array_equal(later.trajectory.segments[:frozen],
+                                  earlier.trajectory.segments[:frozen])
+            assert later.revised_from == -1 or later.revised_from >= frozen
+
+    def test_wide_horizon_streams_the_exact_oneshot_every_append(
+            self, data, model):
+        """With a horizon wider than the grid nothing commits: every update
+        is a full decode from step 0, finalize short-circuits (no second
+        decode) and still equals the one-shot result."""
+        engine_config = _config(data, commit_horizon=10_000)
+        service = StreamingRecoveryService.from_model(model, engine_config)
+        sample = data.test[1]
+        expected = _reference(model, data, sample)
+        sid, updates, _ = _drive(service, sample, chunk=1)
+        last = updates[-1]
+        assert last.committed_steps == 0 and last.skipped_steps == 0
+        assert np.array_equal(last.trajectory.segments, expected.segments)
+
+        # Engine-level: the stored full decode is returned verbatim.
+        engine = IncrementalEngine(data.network, engine_config.ingest())
+        session = SessionState("x", hour=sample.hour, holiday=sample.holiday)
+        engine.append_fixes(session, sample.raw_low.xy, sample.raw_low.times)
+        engine.decode(model, session, 10_000)
+        trajectory, revised_from, ran_decode = engine.finalize(model, session)
+        assert not ran_decode and revised_from == -1
+        assert np.array_equal(trajectory.segments, expected.segments)
+
+
+# ---------------------------------------------------------------------------
+# Service semantics: updates, lifecycle, telemetry
+# ---------------------------------------------------------------------------
+class TestStreamingService:
+    def test_update_bookkeeping(self, data, model):
+        service = StreamingRecoveryService.from_model(
+            model, _config(data, commit_horizon=2), shard="cd")
+        sample = data.test[0]
+        sid, updates, response = _drive(service, sample, chunk=1)
+        assert updates[0].trajectory is None  # one fix cannot decode yet
+        assert updates[0].session_id == sid
+        for update in updates[1:]:
+            assert update.trajectory is not None
+            assert len(update.trajectory) == update.grid_length
+            assert update.decoded_steps + update.skipped_steps == \
+                update.grid_length
+            assert update.committed_steps <= update.grid_length
+            assert update.shard == "cd" and update.model == "default"
+        # Later appends resume from the checkpoint instead of step 0.
+        assert updates[-1].skipped_steps > 0
+        assert response.session_id == sid
+        assert response.shard == "cd"
+
+    def test_telemetry_splits_streaming_from_oneshot(self, data, model):
+        service = StreamingRecoveryService.from_model(model, _config(data))
+        tag = service.registry.active_ref()[1]
+        # One-shot traffic through the same telemetry object.
+        service.telemetry.record_request(0.01, cache_hit=False, model_tag=tag)
+        _drive(service, data.test[0], chunk=2)
+        stats = service.stats()
+        assert stats["streaming_requests"] >= 3  # appends + finalize
+        assert stats["oneshot_requests"] == 1
+        assert stats["streaming_by_model"][tag] == stats["streaming_requests"]
+        assert tag in stats["revision_rate_by_model"]
+        assert 0.0 <= stats["revision_rate_by_model"][tag] <= 1.0
+        assert stats["sessions"]["opened"] == 1
+        assert stats["sessions"]["finalized"] == 1
+        assert stats["commit_horizon"] == _config(data).commit_horizon
+
+    def test_store_pressure_surfaces_through_the_service(self, data, model):
+        clock = FakeClock()
+        service = StreamingRecoveryService.from_model(
+            model, _config(data, capacity=1, ttl_seconds=50.0,
+                           evict_idle_seconds=1_000.0),
+            clock=clock)
+        sample = data.test[0]
+        sid = service.open()
+        service.append(sid, sample.raw_low.xy[:2], sample.raw_low.times[:2])
+        clock.advance(5.0)
+        with pytest.raises(SessionOverloaded):  # resident session too fresh
+            service.open()
+        clock.advance(60.0)  # TTL passes; next open sweeps the stale session
+        sid2 = service.open()
+        with pytest.raises(UnknownSession):
+            service.append(sid, sample.raw_low.xy[2:3],
+                           sample.raw_low.times[2:3])
+        assert sid2 in service.store
+        records = service.evictions()
+        assert records and records[-1]["session_id"] == sid
+        assert records[-1]["reason"] == "ttl"
+        assert records[-1]["fixes"] == 2
+
+    def test_hot_swap_invalidates_the_carry_checkpoint(self, data, model):
+        service = StreamingRecoveryService.from_model(
+            model, _config(data, commit_horizon=2))
+        challenger = RNTrajRec(data.network, TINY).eval()
+        service.registry.add_loaded("challenger", challenger)
+        sample = data.test[0]
+        raw = sample.raw_low
+        sid = service.open(hour=sample.hour, holiday=sample.holiday)
+        for j in range(len(raw) - 1):
+            update = service.append(sid, raw.xy[j:j + 1], raw.times[j:j + 1])
+        assert update.skipped_steps > 0  # a checkpoint was in use
+
+        service.registry.activate("challenger")
+        update = service.append(sid, raw.xy[-1:], raw.times[-1:])
+        assert update.model == "challenger"
+        assert update.skipped_steps == 0  # old-weights carry was dropped
+
+        response = service.finalize(sid)
+        expected = _reference(challenger, data, sample)
+        assert np.array_equal(response.trajectory.segments,
+                              expected.segments)
+
+    def test_closed_service_refuses_work(self, data, model):
+        service = StreamingRecoveryService.from_model(model, _config(data))
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.open()
+
+
+# ---------------------------------------------------------------------------
+# Session -> shard affinity over a cluster
+# ---------------------------------------------------------------------------
+class TestStreamingCluster:
+    @pytest.fixture()
+    def cluster(self, data):
+        built = RecoveryCluster(
+            side_by_side(["chengdu", "chengdu"], gap=600.0),
+            model_factory=lambda spec, network: RNTrajRec(network,
+                                                          TINY).eval(),
+            network_factory=lambda spec: data.network,
+        )
+        yield built
+        built.close()
+
+    def test_sessions_pin_to_the_owning_shard(self, data, cluster):
+        streaming = StreamingCluster(cluster)
+        sample = data.test[0]
+        origin = cluster.shards[1].spec.origin
+        shifted = sample.raw_low.xy + np.asarray(origin)
+
+        sid, shard_name = streaming.open(shifted[0], hour=sample.hour,
+                                         holiday=sample.holiday)
+        assert shard_name == cluster.shards[1].name
+        for j in range(len(shifted)):
+            update = streaming.append(sid, shifted[j:j + 1],
+                                      sample.raw_low.times[j:j + 1])
+            assert update.shard == shard_name
+        response = streaming.finalize(sid)
+        assert response.shard == shard_name
+
+        # Localized appends produce the same recovery the owning shard's
+        # model gives for the city-frame trace.  The reference round-trips
+        # the global->local translation too: (xy + origin) - origin is not
+        # bitwise xy, and the decode is deliberately bit-exact, not robust
+        # to sub-micron coordinate perturbation.
+        local = shifted - np.asarray(origin)
+        request = RecoveryRequest(local, sample.raw_low.times,
+                                  hour=sample.hour, holiday=sample.holiday)
+        assembled = assemble_sample(request, data.network,
+                                    _config(data).ingest())
+        expected = cluster.shards[1].registry.active_ref()[2] \
+            .recover_trajectories(make_batch([assembled]))[0]
+        assert np.array_equal(response.trajectory.segments, expected.segments)
+
+        # The pin is released: the session is gone everywhere.
+        with pytest.raises(UnknownSession):
+            streaming.append(sid, shifted[:1], sample.raw_low.times[:1])
+        assert streaming.stats()["pinned_sessions"] == 0
+        assert shard_name in streaming.stats()["shards"]
+
+    def test_unroutable_open_is_rejected(self, cluster):
+        streaming = StreamingCluster(cluster)
+        with pytest.raises(RouteError):
+            streaming.open(np.array([1e9, 1e9]))
+
+    def test_evictions_roll_up_with_shard_labels(self, data, cluster):
+        clock = FakeClock()
+        streaming = StreamingCluster(
+            cluster, StreamConfig.for_spec(data.spec, ttl_seconds=10.0),
+            clock=clock)
+        sample = data.test[0]
+        sid, shard_name = streaming.open(sample.raw_low.xy[0])
+        streaming.append(sid, sample.raw_low.xy[:2], sample.raw_low.times[:2])
+        clock.advance(30.0)
+        sid2, _ = streaming.open(sample.raw_low.xy[0])  # sweeps the stale one
+        records = streaming.evictions()
+        assert [r["session_id"] for r in records] == [sid]
+        assert records[0]["shard"] == shard_name
+        with pytest.raises(UnknownSession):  # stale pin dropped on contact
+            streaming.finalize(sid)
+        assert sid2  # the fresh session stays usable
+        streaming.close()

@@ -1,0 +1,85 @@
+"""Cross-city transfer: train on city A, serve city B.
+
+PLMTrajRec frames cross-city generalization as the key scalability gap
+for recovery models: every new city should not need a from-scratch
+model.  RNTrajRec is partly city-specific — the decoder's segment head
+is |V|-wide, and grid/GNN embeddings are sized by the city's grid — but
+the transformer encoder, GRU, and rate head are city-agnostic.  So a
+*warm start* is possible: copy every parameter whose name **and shape**
+match into a fresh model on city B's network, leave the rest at their
+seeded initialization, then fine-tune with a small budget.
+
+:func:`transfer_model` does exactly that and reports what moved;
+``bench_scenarios`` runs the resulting transfer-vs-scratch comparison as
+the cross-city row of the matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.config import RNTrajRecConfig
+from ..core.model import RNTrajRec
+from ..roadnet.network import RoadNetwork
+
+
+@dataclass
+class TransferReport:
+    """What a state transfer moved between two cities' models."""
+
+    copied: List[str]
+    skipped: List[str]
+
+    @property
+    def copied_fraction(self) -> float:
+        total = len(self.copied) + len(self.skipped)
+        return len(self.copied) / max(total, 1)
+
+    def as_dict(self) -> dict:
+        return {
+            "copied": len(self.copied),
+            "skipped": len(self.skipped),
+            "copied_fraction": round(self.copied_fraction, 4),
+            "skipped_names": sorted(self.skipped),
+        }
+
+
+def transfer_state(source: RNTrajRec, target: RNTrajRec) -> TransferReport:
+    """Copy name+shape-matched entries of ``source`` into ``target``.
+
+    Entries that exist only in one model, or whose shapes differ (the
+    |V|-wide decoder head, city-sized grid embeddings), keep ``target``'s
+    current values — the merge is built from ``target``'s own state dict,
+    so the strict ``load_state_dict`` contract always holds.
+    """
+    src = source.state_dict()
+    merged = {}
+    copied: List[str] = []
+    skipped: List[str] = []
+    for name, value in target.state_dict().items():
+        candidate = src.get(name)
+        if candidate is not None and candidate.shape == value.shape:
+            merged[name] = candidate
+            copied.append(name)
+        else:
+            merged[name] = value
+            skipped.append(name)
+    target.load_state_dict(merged)
+    return TransferReport(copied=copied, skipped=skipped)
+
+
+def transfer_model(
+    source: RNTrajRec,
+    network: RoadNetwork,
+    config: Optional[RNTrajRecConfig] = None,
+) -> tuple:
+    """A fresh model on ``network`` warm-started from ``source``.
+
+    Returns ``(model, report)``.  Construct under
+    :func:`repro.nn.init.seed_everything` beforehand when the
+    un-transferred remainder must be deterministic (benchmarks do).
+    """
+    model = RNTrajRec(network, config or source.config)
+    report = transfer_state(source, model)
+    return model, report

@@ -212,6 +212,7 @@ class SessionStore:
             "age_seconds": round(now - session.created, 3),
             "fixes": session.num_fixes,
             "appends": session.appends,
+            "revisions": session.revisions,
             "committed_steps": int(session.committed),
         })
 

@@ -46,7 +46,14 @@ from .pipeline import (
     model_version,
     register_bundle,
 )
-from .schedules import ConstantLR, CosineLR, LRSchedule, StepDecayLR, build_schedule
+from .schedules import (
+    ConstantLR,
+    CosineLR,
+    LRSchedule,
+    PiecewiseConstant,
+    StepDecayLR,
+    build_schedule,
+)
 from .state import TrainState
 from .trainer import RecoveryModel, Trainer, quick_accuracy
 
@@ -64,6 +71,7 @@ __all__ = [
     "LambdaCallback",
     "LoggingCallback",
     "ParallelTrainer",
+    "PiecewiseConstant",
     "ProgressCallback",
     "RecoveryModel",
     "SCHEDULE_NAMES",

@@ -10,6 +10,7 @@ from .dataset import (
     make_batch,
     make_padded_batch,
     pad_sample_target,
+    sample_from_fixes,
     train_val_test_split,
 )
 from .resample import (
@@ -32,6 +33,7 @@ __all__ = [
     "make_batch",
     "make_padded_batch",
     "pad_sample_target",
+    "sample_from_fixes",
     "train_val_test_split",
     "downsample_indices",
     "downsample_matched",

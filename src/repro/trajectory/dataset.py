@@ -99,6 +99,44 @@ class DatasetConfig:
     seed: int = 0
 
 
+def sample_from_fixes(
+    network: RoadNetwork,
+    low: RawTrajectory,
+    target: MatchedTrajectory,
+    observed_steps: np.ndarray,
+    config: "DatasetConfig",
+    hour: int,
+    holiday: bool,
+) -> RecoverySample:
+    """Assemble one recovery sample from an observed fix subset.
+
+    The single construction path shared by :func:`build_samples` (fixed
+    ``keep_every`` downsampling) and :mod:`repro.scenarios` (degraded
+    observation patterns): ``observed_steps[i]`` is the target grid step
+    of input fix ``i``, and each observed step gets its Eq. 16 constraint
+    entry from the fix's (possibly noise-perturbed) position.  Sharing
+    this keeps the scenario suite's identity transform bit-identical to
+    the clean pipeline.
+    """
+    observed_steps = np.asarray(observed_steps, dtype=np.int64)
+    if len(low) != len(observed_steps):
+        raise ValueError("one observed step per input fix required")
+    constraints: List[SparseMask] = [None] * len(target)
+    for input_pos, target_step in enumerate(observed_steps):
+        x, y = low.xy[input_pos]
+        constraints[int(target_step)] = constraint_for_fix(
+            network, x, y, config.beta, config.max_gps_error
+        )
+    return RecoverySample(
+        raw_low=low,
+        target=target,
+        observed_steps=observed_steps,
+        constraints=tuple(constraints),
+        hour=int(hour),
+        holiday=bool(holiday),
+    )
+
+
 def build_samples(
     pairs: Sequence[Tuple[RawTrajectory, MatchedTrajectory]],
     network: RoadNetwork,
@@ -112,21 +150,9 @@ def build_samples(
         if len(raw) != len(matched):
             raise ValueError("raw and matched trajectories must align 1:1")
         keep = downsample_indices(len(raw), config.keep_every)
-        low = raw.slice(keep)
-
-        constraints: List[SparseMask] = [None] * len(matched)
-        for input_pos, target_step in enumerate(keep):
-            x, y = low.xy[input_pos]
-            constraints[int(target_step)] = constraint_for_fix(
-                network, x, y, config.beta, config.max_gps_error
-            )
-
         samples.append(
-            RecoverySample(
-                raw_low=low,
-                target=matched,
-                observed_steps=keep,
-                constraints=tuple(constraints),
+            sample_from_fixes(
+                network, raw.slice(keep), matched, keep, config,
                 hour=int(rng.integers(0, 24)),
                 holiday=bool(rng.random() < 0.1),
             )

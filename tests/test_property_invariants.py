@@ -8,6 +8,12 @@ from repro.geo.distance import gaussian_weight, point_along_polyline, project_po
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor
 from repro.roadnet import CityConfig, ShortestPathEngine, generate_city
+from repro.trajectory import MatchedTrajectory, RawTrajectory
+from repro.trajectory.resample import (
+    downsample_indices,
+    downsample_matched,
+    downsample_raw,
+)
 
 
 @pytest.fixture(scope="module")
@@ -102,6 +108,53 @@ class TestGeometryProperties:
         _, ratio_lo, _ = project_point_to_polyline(p_lo, poly)
         _, ratio_hi, _ = project_point_to_polyline(p_hi, poly)
         assert ratio_hi >= ratio_lo - 1e-9
+
+
+class TestResampleProperties:
+    @given(st.integers(1, 400))
+    @settings(max_examples=60, deadline=None)
+    def test_keep_every_one_is_identity(self, length):
+        idx = downsample_indices(length, 1)
+        assert np.array_equal(idx, np.arange(length))
+
+    @given(st.integers(1, 60), st.integers(1, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_indices_strictly_increasing_with_endpoints(self, keep_every, length):
+        idx = downsample_indices(length, keep_every)
+        assert idx[0] == 0 and idx[-1] == length - 1
+        assert np.all(np.diff(idx) > 0)
+        assert np.all(np.diff(idx) <= keep_every)
+
+    @given(st.integers(1, 8), st.integers(1, 8), st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_composition_equals_product_on_aligned_lengths(self, a, b, k):
+        """Downsampling by a then b equals one stride of a*b whenever the
+        final point lands on the coarse grid (length ≡ 1 mod a*b) — the
+        forced always-keep-last endpoint is what breaks it elsewhere."""
+        length = a * b * k + 1
+        first = downsample_indices(length, a)
+        composed = first[downsample_indices(len(first), b)]
+        assert np.array_equal(composed, downsample_indices(length, a * b))
+
+    @given(st.integers(2, 120), st.integers(1, 16), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_raw_and_matched_downsample_consistently(self, length, keep_every, seed):
+        """Aligned raw/matched pairs stay aligned: both slices take the
+        same indices, so times match element-for-element."""
+        rng = np.random.default_rng(seed)
+        times = np.cumsum(rng.uniform(0.5, 5.0, size=length)) + 10.0
+        raw = RawTrajectory(rng.uniform(0, 1000, size=(length, 2)), times)
+        matched = MatchedTrajectory(
+            rng.integers(0, 50, size=length).astype(np.int64),
+            rng.uniform(0, 1, size=length), times)
+        low_raw = downsample_raw(raw, keep_every)
+        low_matched = downsample_matched(matched, keep_every)
+        idx = downsample_indices(length, keep_every)
+        assert len(low_raw) == len(low_matched) == len(idx)
+        assert np.array_equal(low_raw.times, low_matched.times)
+        assert np.array_equal(low_raw.xy, raw.xy[idx])
+        assert np.array_equal(low_matched.segments, matched.segments[idx])
+        assert np.array_equal(low_matched.ratios, matched.ratios[idx])
 
 
 class TestConstraintMaskProperties:

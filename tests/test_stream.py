@@ -518,3 +518,92 @@ class TestStreamingCluster:
             streaming.finalize(sid)
         assert sid2  # the fresh session stays usable
         streaming.close()
+
+
+# ---------------------------------------------------------------------------
+# Degraded-input edges: scenario-generated gaps through the streaming path
+# ---------------------------------------------------------------------------
+class TestDegradedStreaming:
+    @pytest.fixture(scope="class")
+    def outage_samples(self, data):
+        """Recovery samples whose fixes carry contiguous observation gaps
+        (the repro.scenarios Outage degrader over the same city/recipe)."""
+        from repro.scenarios import Outage, Scenario, build_scenario_samples
+        from repro.trajectory import TrajectorySimulator
+
+        simulator = TrajectorySimulator(data.network, data.spec.simulation)
+        pairs = simulator.simulate(6)
+        scenario = Scenario(name="outage",
+                            transforms=(Outage(gaps=2, min_span=4,
+                                               max_span=10),),
+                            seed=3)
+        return build_scenario_samples(pairs, data.network, scenario,
+                                      data.spec.dataset)
+
+    def test_gap_times_pass_append_validation(self, data, outage_samples):
+        """Times that jump whole outage windows are still valid appends —
+        a gap is not an error; only regressions and duplicates are."""
+        interval = data.spec.simulation.sample_interval
+        saw_gap = False
+        for sample in outage_samples:
+            times = sample.raw_low.times
+            saw_gap = saw_gap or bool(np.any(np.diff(times) > 8 * interval))
+            last = None
+            for j in range(len(times)):
+                out = validate_append_times(times[j:j + 1], last_time=last)
+                assert out.dtype == np.float64
+                last = float(times[j])
+            # Replaying any pre-gap fix after the gap stays a typed error.
+            with pytest.raises(RequestError):
+                validate_append_times(times[:1], last_time=last)
+        assert saw_gap  # the scenario really produced outage-scale gaps
+
+    def test_outage_sessions_finalize_exactly(self, data, model,
+                                              outage_samples):
+        """finalize() == one-shot recovery for gap-degraded fix patterns:
+        the commit-horizon machinery must not drift when appends land far
+        past the committed frontier."""
+        service = StreamingRecoveryService.from_model(
+            model, _config(data, commit_horizon=2))
+        for sample in outage_samples[:3]:
+            sid, _, response = _drive(service, sample, chunk=1)
+            segments, rates = model.recover(make_batch([sample]))
+            assert np.array_equal(response.trajectory.segments, segments[0])
+            assert np.array_equal(response.trajectory.ratios, rates[0])
+
+    def test_eviction_ring_under_degraded_churn(self, data, model,
+                                                outage_samples):
+        """Devices driving degraded traces drop offline mid-trip; the
+        eviction ring must account for every aborted session — fixes,
+        appends, revisions — and stay bounded."""
+        clock = FakeClock()
+        service = StreamingRecoveryService.from_model(
+            model, _config(data, capacity=2, ttl_seconds=10_000.0,
+                           eviction_log=4, commit_horizon=1),
+            clock=clock)
+        appended: dict = {}
+        for round_ in range(4):
+            for sample in outage_samples[:2]:
+                sid = service.open(hour=sample.hour, holiday=sample.holiday)
+                raw = sample.raw_low
+                count = 2 + (round_ % 2)  # vary per-session append churn
+                for j in range(min(count, len(raw))):
+                    service.append(sid, raw.xy[j:j + 1], raw.times[j:j + 1])
+                appended[sid] = min(count, len(raw))
+                clock.advance(1.0)
+                # ... and the device goes dark: no finalize, ever.
+
+        records = service.evictions()
+        assert len(records) <= 4  # the ring is bounded by eviction_log
+        assert service.store.stats()["evicted_lru"] == 6  # 8 opened, cap 2
+        for record in records:
+            assert record["reason"] == "lru"
+            assert record["fixes"] == record["appends"] == \
+                appended[record["session_id"]]
+            assert record["revisions"] >= 0
+            assert record["committed_steps"] >= 0
+        # Aborted sessions with enough fixes did real incremental work —
+        # the ring preserves the decode telemetry of sessions nobody will
+        # ever finalize.
+        assert any(r["committed_steps"] > 0 for r in records
+                   if r["fixes"] >= 3)

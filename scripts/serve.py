@@ -154,6 +154,7 @@ def build_service(args, need_samples: bool = True) -> tuple:
     building — which cuts server start time to the city-generation cost.
     """
     common = dict(
+        scheduler=args.scheduler,
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
         cache_capacity=args.cache_capacity,
@@ -412,7 +413,8 @@ def build_cluster(args) -> RecoveryCluster:
     else:
         raise SystemExit("cluster needs --shard-map or --datasets")
     # CLI scheduler/cache knobs are defaults; a shard-map [serve] section wins.
-    serve = dict(max_batch_size=args.max_batch_size,
+    serve = dict(scheduler=args.scheduler,
+                 max_batch_size=args.max_batch_size,
                  max_wait_ms=args.max_wait_ms,
                  cache_capacity=args.cache_capacity)
     serve.update(shard_map.serve)
@@ -520,6 +522,9 @@ def main(argv=None) -> None:
         p = sub.add_parser(name, help=help_text)
         common(p)
         p.add_argument("--bundle", default=None, help="bundle prefix from `train`")
+        p.add_argument("--scheduler", default="continuous",
+                       choices=("continuous", "microbatch"),
+                       help="decode scheduler (see docs/serving.md)")
         p.add_argument("--max-batch-size", type=int, default=16)
         p.add_argument("--max-wait-ms", type=float, default=20.0)
         p.add_argument("--cache-capacity", type=int, default=1024)
@@ -546,6 +551,9 @@ def main(argv=None) -> None:
     c.add_argument("--trajectories", type=int, default=160)
     c.add_argument("--hidden", type=int, default=32)
     c.add_argument("--epochs", type=int, default=5)
+    c.add_argument("--scheduler", default="continuous",
+                   choices=("continuous", "microbatch"),
+                   help="decode scheduler (see docs/serving.md)")
     c.add_argument("--max-batch-size", type=int, default=16)
     c.add_argument("--max-wait-ms", type=float, default=20.0)
     c.add_argument("--cache-capacity", type=int, default=1024)

@@ -181,6 +181,15 @@ class Shard:
         future.add_done_callback(_release)
         return future
 
+    def decode_scheduler(self):
+        """Replica 0's continuous decode scheduler (``None`` when the shard
+        was configured with ``scheduler="microbatch"``).  The streaming
+        affinity layer joins session suffix decodes to this slot table, so
+        one shard's streaming and one-shot traffic share a ragged batch."""
+        self.warm()
+        with self._lock:
+            return self._services[0].scheduler
+
     def _pick_replica(self) -> Optional[int]:
         """Round-robin over replicas with admission headroom (lock held)."""
         n = self.spec.replicas
@@ -272,6 +281,7 @@ class Shard:
         requests = cache_hits = errors = 0
         by_model: Dict[str, int] = {}
         replica_stats = []
+        engine_rollup: Dict[str, int] = {}
         for service in services:
             stats = service.stats()
             replica_stats.append(stats)
@@ -280,7 +290,11 @@ class Shard:
             errors += stats["errors"]
             for tag, count in stats["requests_by_model"].items():
                 by_model[tag] = by_model.get(tag, 0) + count
+            for gauge, value in stats.get("engine", {}).items():
+                engine_rollup[gauge] = engine_rollup.get(gauge, 0) + value
         latencies.sort()
+        if engine_rollup:
+            payload["engine"] = engine_rollup
         payload.update({
             "requests": requests,
             "cache_hits": cache_hits,

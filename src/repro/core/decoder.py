@@ -34,8 +34,11 @@ from .config import RNTrajRecConfig
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
     """Raw-array twin of :meth:`repro.nn.tensor.Tensor.sigmoid` — same
-    clipping and branch structure, so values are bit-identical."""
-    clipped = np.clip(x, -60.0, 60.0)
+    clipping and branch structure, so values are bit-identical.  The clip
+    is spelled as its ufunc definition (``minimum(maximum(x, lo), hi)``,
+    bit-equal by construction) because ``np.clip``'s dispatch overhead is
+    measurable at the (1, d) sizes the decode engine steps with."""
+    clipped = np.minimum(np.maximum(x, -60.0), 60.0)
     exp_neg = np.exp(-np.abs(clipped))
     return np.where(clipped >= 0, 1.0 / (1.0 + exp_neg), exp_neg / (1.0 + exp_neg))
 
@@ -46,6 +49,119 @@ class DecoderOutput:
 
     segment_log_probs: Tensor   # (b, l_ρ, |V|) — masked log softmax
     rates: Tensor               # (b, l_ρ)
+
+
+@dataclass
+class GreedyWeights:
+    """Raw arrays of every parameter the greedy kernel touches, unpacked once.
+
+    The run-to-completion kernel unpacks these at the top of each decode
+    call; the continuous-batching engine (``repro.serve.engine``) instead
+    caches one bundle per model generation tag, so every slot decoding
+    under the same tag shares the same unpacked weights and the per-step
+    cost is pure math.  The arrays are references to (not copies of) the
+    decoder's parameters — a bundle is only valid for as long as the model
+    generation it was built from (generation tags are immutable: a
+    re-register bumps the tag, so the serving layer can key caches on it).
+    """
+
+    w_h: np.ndarray          # attention key projection (d, d)
+    w_g: np.ndarray          # attention query projection (d, d)
+    v: np.ndarray            # attention energy vector (d,)
+    w_z: np.ndarray          # GRU update gate (3d+1, d)
+    b_z: np.ndarray
+    w_r: np.ndarray          # GRU reset gate
+    b_r: np.ndarray
+    w_c: np.ndarray          # GRU candidate
+    b_c: np.ndarray
+    head: np.ndarray         # segment head (d, |V|)
+    rate_w: np.ndarray       # rate head (2d, 1)
+    rate_b: np.ndarray
+    embed_table: np.ndarray  # segment embeddings (|V|, d)
+    start: np.ndarray        # learned start embedding (d,)
+    num_segments: int
+    hidden_dim: int
+
+    @classmethod
+    def from_decoder(cls, decoder: "RecoveryDecoder") -> "GreedyWeights":
+        attention, gru = decoder.attention, decoder.gru
+        return cls(
+            w_h=attention.w_h.weight.data,
+            w_g=attention.w_g.weight.data,
+            v=attention.v.data,
+            w_z=gru.w_z.data, b_z=gru.b_z.data,
+            w_r=gru.w_r.data, b_r=gru.b_r.data,
+            w_c=gru.w_c.data, b_c=gru.b_c.data,
+            head=decoder.segment_head.weight.data,
+            rate_w=decoder.rate_head.weight.data,
+            rate_b=decoder.rate_head.bias.data,
+            embed_table=decoder.segment_embedding.weight.data,
+            start=decoder.start_embedding.data,
+            num_segments=decoder.num_segments,
+            hidden_dim=decoder.config.hidden_dim,
+        )
+
+    def project_keys(self, enc: np.ndarray) -> np.ndarray:
+        """W_h·enc — constant across a sequence's decode steps, so it is
+        hoisted: once per kernel call here, once per *admission* in the
+        continuous engine (amortized over every step of the slot)."""
+        return enc @ self.w_h
+
+
+def greedy_step(
+    weights: GreedyWeights,
+    enc: np.ndarray,
+    keys: np.ndarray,
+    carry: "GreedyCarry",
+    mask_row: Optional[np.ndarray],
+    reachability: Optional["ReachabilityMask"],
+) -> Tuple[np.ndarray, np.ndarray, "GreedyCarry"]:
+    """One greedy decode step; returns (predicted (b,), rates (b,), carry).
+
+    This is the loop body of :meth:`RecoveryDecoder._greedy_kernel`, shared
+    verbatim between the run-to-completion kernel and the continuous-
+    batching engine's per-slot stepper so the two can never drift: a slot
+    stepped ``n`` times replays the exact floating-point op sequence of an
+    ``n``-step kernel call on the same carry.  ``mask_row`` is the step's
+    raw constraint row (a view is fine — nothing here mutates it);
+    the reachability combine with ``carry.prev_segments`` happens inside,
+    exactly as the full kernel does it.
+    """
+    state, prev_embed, prev_rate = carry.state, carry.prev_embed, carry.prev_rate
+    prev_segments = carry.prev_segments
+    b, length = enc.shape[0], enc.shape[1]
+    if reachability is not None and prev_segments is not None:
+        mask_row = reachability.combine(mask_row, prev_segments,
+                                        weights.num_segments)
+    # Additive attention (Eq. 14), mirroring AdditiveAttention.
+    energy = np.tanh((state @ weights.w_g).reshape(b, 1, -1) + keys) @ weights.v
+    scores = energy.reshape(b, length)
+    shifted = scores - scores.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    attn = exp / exp.sum(axis=-1, keepdims=True)
+    context = (attn.reshape(b, 1, -1) @ enc).reshape(b, -1)
+    # GRU cell (Eq. 15), mirroring nn.GRUCell.forward.
+    x = np.concatenate([prev_embed, prev_rate, context], axis=-1)
+    hx = np.concatenate([state, x], axis=-1)
+    z = _sigmoid(hx @ weights.w_z + weights.b_z)
+    r = _sigmoid(hx @ weights.w_r + weights.b_r)
+    rhx = np.concatenate([r * state, x], axis=-1)
+    c = np.tanh(rhx @ weights.w_c + weights.b_c)
+    state = (1.0 - z) * state + z * c
+    # Segment head + Eq. 16 mask, argmax only.
+    logits = state @ weights.head
+    if mask_row is not None:
+        logits = logits + np.log(np.maximum(mask_row, 1e-12))
+    predicted = np.argmax(logits, axis=-1)
+    # Rate head (Eq. 17), mirroring _rate.
+    prev_embed = weights.embed_table[predicted]
+    rate = _sigmoid(
+        np.concatenate([prev_embed, state], axis=-1) @ weights.rate_w
+        + weights.rate_b
+    )
+    rates = np.minimum(np.maximum(rate.reshape(b), 0.0), 1.0 - 1e-9)
+    return predicted, rates, GreedyCarry(state, prev_embed, rates[:, None],
+                                         predicted)
 
 
 @dataclass
@@ -319,62 +435,47 @@ class RecoveryDecoder(nn.Module):
         constraint: Optional[np.ndarray],
         reachability: Optional["ReachabilityMask"],
     ) -> Tuple[np.ndarray, np.ndarray, GreedyCarry]:
-        """The shared raw-numpy greedy step loop (see :meth:`decode_greedy`)."""
-        attention, gru = self.attention, self.gru
-        w_g, v = attention.w_g.weight.data, attention.v.data
-        w_z, b_z = gru.w_z.data, gru.b_z.data
-        w_r, b_r = gru.w_r.data, gru.b_r.data
-        w_c, b_c = gru.w_c.data, gru.b_c.data
-        head = self.segment_head.weight.data
-        rate_w = self.rate_head.weight.data
-        rate_b = self.rate_head.bias.data
-        embed_table = self.segment_embedding.weight.data
+        """The shared raw-numpy greedy step loop (see :meth:`decode_greedy`).
 
-        b, length = enc.shape[0], enc.shape[1]
-        keys = enc @ attention.w_h.weight.data  # W_h·enc, constant per decode
-        state, prev_embed, prev_rate = (
-            carry.state, carry.prev_embed, carry.prev_rate)
-        prev_segments = carry.prev_segments
-
+        Weight unpacking + key projection happen once per call; each loop
+        iteration is one :func:`greedy_step`, the same primitive the
+        continuous-batching engine drives slot by slot.
+        """
+        weights = GreedyWeights.from_decoder(self)
+        keys = weights.project_keys(enc)  # W_h·enc, constant per decode
+        b = enc.shape[0]
         segments = np.zeros((b, num_steps), dtype=np.int64)
         rates = np.zeros((b, num_steps))
         for j in range(num_steps):
             # No step mutates the mask, so a view (not a copy) is safe.
             mask_row = constraint[:, j, :] if constraint is not None else None
-            if reachability is not None and prev_segments is not None:
-                mask_row = reachability.combine(mask_row, prev_segments,
-                                                self.num_segments)
-            # Additive attention (Eq. 14), mirroring AdditiveAttention.
-            energy = np.tanh((state @ w_g).reshape(b, 1, -1) + keys) @ v
-            scores = energy.reshape(b, length)
-            shifted = scores - scores.max(axis=-1, keepdims=True)
-            exp = np.exp(shifted)
-            weights = exp / exp.sum(axis=-1, keepdims=True)
-            context = (weights.reshape(b, 1, -1) @ enc).reshape(b, -1)
-            # GRU cell (Eq. 15), mirroring nn.GRUCell.forward.
-            x = np.concatenate([prev_embed, prev_rate, context], axis=-1)
-            hx = np.concatenate([state, x], axis=-1)
-            z = _sigmoid(hx @ w_z + b_z)
-            r = _sigmoid(hx @ w_r + b_r)
-            rhx = np.concatenate([r * state, x], axis=-1)
-            c = np.tanh(rhx @ w_c + b_c)
-            state = (1.0 - z) * state + z * c
-            # Segment head + Eq. 16 mask, argmax only.
-            logits = state @ head
-            if mask_row is not None:
-                logits = logits + np.log(np.maximum(mask_row, 1e-12))
-            predicted = np.argmax(logits, axis=-1)
+            predicted, step_rates, carry = greedy_step(
+                weights, enc, keys, carry, mask_row, reachability)
             segments[:, j] = predicted
-            prev_segments = predicted
-            # Rate head (Eq. 17), mirroring _rate.
-            prev_embed = embed_table[predicted]
-            rate = _sigmoid(
-                np.concatenate([prev_embed, state], axis=-1) @ rate_w + rate_b
-            )
-            rates[:, j] = np.clip(rate.reshape(b), 0.0, 1.0 - 1e-9)
-            prev_rate = rates[:, j][:, None]
-        return segments, rates, GreedyCarry(state, prev_embed, prev_rate,
-                                            prev_segments)
+            rates[:, j] = step_rates
+        return segments, rates, carry
+
+    def decode_greedy_step(
+        self,
+        enc: np.ndarray,
+        keys: np.ndarray,
+        carry: GreedyCarry,
+        mask_row: Optional[np.ndarray],
+        reachability: Optional["ReachabilityMask"] = None,
+        weights: Optional[GreedyWeights] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, GreedyCarry]:
+        """Advance every row one greedy step from its carry.
+
+        The continuous-batching engine's primitive: ``n`` calls with the
+        per-step constraint rows of an ``n``-step decode reproduce
+        :meth:`decode_greedy_from` bit for bit (same shared loop body).
+        ``keys`` is the hoisted ``W_h·enc`` projection
+        (:meth:`GreedyWeights.project_keys`); pass ``weights`` to reuse a
+        cached bundle across calls.
+        """
+        if weights is None:
+            weights = GreedyWeights.from_decoder(self)
+        return greedy_step(weights, enc, keys, carry, mask_row, reachability)
 
 
     # ------------------------------------------------------------------
@@ -495,14 +596,17 @@ def interpolation_prior(batch: Batch, network, scale: float, floor: float) -> np
         # Rows of ``prior`` grouped by their distinct interpolated position.
         order = np.argsort(inverse, kind="stable")
         boundaries = np.searchsorted(inverse[order], np.arange(len(first) + 1))
-        for u, representative in enumerate(first):
-            x, y = flat[representative]
-            ids, dists = network.segments_within_arrays(float(x), float(y), radius)
-            if not len(ids):
+        # All distinct positions' radius queries and kernel weights in one
+        # batched pass (identical per-element math to the single-point
+        # query, so the prior is bit-equal to a per-position loop).
+        indptr, ids, dists = network.segments_within_batch(flat[first], radius)
+        weights = np.maximum(np.exp(-(dists / scale) ** 2), floor)
+        for u in range(len(first)):
+            cols = ids[indptr[u] : indptr[u + 1]]
+            if not len(cols):
                 continue
-            weights = np.maximum(np.exp(-(dists / scale) ** 2), floor)
             rows = order[boundaries[u] : boundaries[u + 1]]
-            prior[np.ix_(rows, ids)] = weights
+            prior[np.ix_(rows, cols)] = weights[indptr[u] : indptr[u + 1]]
         return prior.reshape(b, l_rho, num_segments)
 
 
@@ -577,6 +681,14 @@ class ReachabilityMask:
         if mask_row is None:
             mask_row = np.ones((b, num_segments))
         out = mask_row * self.escape_weight
+        if b == 1:
+            # Engine slots decode batch-of-1: the reachable columns are one
+            # contiguous CSR slice, no ragged gather needed.  Same columns,
+            # same writes, same bits as the general path below.
+            p = int(previous[0])
+            cols = self._indices[self._indptr[p]:self._indptr[p + 1]]
+            out[0, cols] = mask_row[0, cols]
+            return out
         starts = self._indptr[previous]
         counts = self._indptr[previous + 1] - starts
         rows = np.repeat(np.arange(b), counts)

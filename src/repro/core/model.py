@@ -94,6 +94,21 @@ class RNTrajRec(nn.Module):
         )
 
     # ------------------------------------------------------------------
+    def decode_constraint(self, batch: Batch) -> np.ndarray:
+        """The (b, l_ρ, |V|) decode-time mask: the paper's Eq. 16 distance
+        constraint, sharpened by the interpolation prior when configured.
+        Factored out of :meth:`recover` so the continuous-batching engine's
+        per-request admission replays the exact same ops."""
+        constraint = batch.constraint_tensor(self.network.num_segments)
+        if self.config.decode_prior_scale > 0:
+            from .decoder import interpolation_prior
+
+            constraint = constraint * interpolation_prior(
+                batch, self.network, self.config.decode_prior_scale,
+                self.config.decode_prior_floor,
+            )
+        return constraint
+
     def recover(self, batch: Batch, beam_width: int = 0) -> Tuple[np.ndarray, np.ndarray]:
         """Recover segments/rates (b, l_ρ); greedy, or beam search if
         ``beam_width`` > 1.  Runs under ``no_grad`` — inference never needs
@@ -101,14 +116,7 @@ class RNTrajRec(nn.Module):
         with no_grad(), profile.section("model.recover"):
             with profile.section("model.encode"):
                 encoded = self.encode(batch)
-            constraint = batch.constraint_tensor(self.network.num_segments)
-            if self.config.decode_prior_scale > 0:
-                from .decoder import interpolation_prior
-
-                constraint = constraint * interpolation_prior(
-                    batch, self.network, self.config.decode_prior_scale,
-                    self.config.decode_prior_floor,
-                )
+            constraint = self.decode_constraint(batch)
             if beam_width > 1:
                 return self.decoder.decode_beam(
                     encoded.point_features, encoded.trajectory_feature,

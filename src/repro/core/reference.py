@@ -324,3 +324,31 @@ def reference_constraint_tensor(batch: Batch, num_segments: int) -> np.ndarray:
     """Per-sample stack version of ``Batch.constraint_tensor``."""
     return np.stack([reference_constraint_matrix(s, num_segments)
                      for s in batch.samples])
+
+
+# ----------------------------------------------------------------------
+# Pre-continuous-batching scheduler path (run-to-completion draining)
+# ----------------------------------------------------------------------
+
+
+def reference_run_to_completion(model, samples) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """The serving decode path as it existed before the continuous engine:
+    group concurrent samples by input length (the micro-batcher's group
+    key), pad each group's target grids to a common length, run one
+    ``recover_padded`` call per group to completion, and only then start
+    the next group.  Returns per-sample (segments, rates) in submission
+    order — the twin the engine's interleaved decode is pinned against in
+    ``tests/test_vectorized_equivalence.py``.
+    """
+    from ..trajectory.dataset import make_padded_batch
+
+    groups: Dict[int, List[int]] = {}
+    for index, sample in enumerate(samples):
+        groups.setdefault(sample.input_length, []).append(index)
+    results: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [None] * len(samples)
+    for indices in groups.values():
+        batch, lengths = make_padded_batch([samples[i] for i in indices])
+        trajectories = model.recover_padded(batch, lengths)
+        for i, trajectory in zip(indices, trajectories):
+            results[i] = (trajectory.segments, trajectory.ratios)
+    return [result for result in results if result is not None]

@@ -51,6 +51,8 @@ class RTree:
         self._bboxes = bboxes
         self._leaf_capacity = max(2, leaf_capacity)
         self.root: Optional[_Node] = self._build(np.arange(len(bboxes))) if len(bboxes) else None
+        self._scan_order: Optional[np.ndarray] = None
+        self._scan_boxes: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # STR bulk loading
@@ -96,24 +98,46 @@ class RTree:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def _scan_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Item ids in full depth-first traversal order plus their bboxes
+        gathered into that order, built lazily on first query.
+
+        A rectangle query emits hits as a *subsequence* of this fixed
+        order: the stack walk visits nodes in one deterministic sequence
+        and pruning only removes whole subtrees, never reorders survivors.
+        That makes the vectorized scan below order-identical to the
+        original per-node walk.
+        """
+        if self._scan_order is None:
+            order: List[int] = []
+            stack = [self.root]
+            while stack:
+                node = stack.pop()
+                if node.is_leaf:
+                    order.extend(node.items)
+                else:
+                    stack.extend(node.children)
+            self._scan_order = np.asarray(order, dtype=np.int64)
+            self._scan_boxes = self._bboxes[self._scan_order]
+        return self._scan_order, self._scan_boxes
+
     def query_rect(self, xmin: float, ymin: float, xmax: float, ymax: float) -> List[int]:
-        """Ids of items whose bounding box intersects the query rectangle."""
+        """Ids of items whose bounding box intersects the query rectangle.
+
+        One vectorized bbox test over every item (gathered in traversal
+        order) instead of a recursive node walk: the same float
+        comparisons as :func:`_intersects`, the same hit set (a node bbox
+        contains its items' bboxes, so node-level pruning never removes a
+        hit), and the same output order — bit-identical results for every
+        caller, ~an order of magnitude faster on constraint-mask / prior /
+        sub-graph hot paths.
+        """
         if self.root is None:
             return []
-        query = (xmin, ymin, xmax, ymax)
-        result: List[int] = []
-        stack = [self.root]
-        while stack:
-            node = stack.pop()
-            if not _intersects(node.bbox, query):
-                continue
-            if node.is_leaf:
-                for item in node.items:
-                    if _intersects(tuple(self._bboxes[item]), query):
-                        result.append(item)
-            else:
-                stack.extend(node.children)
-        return result
+        order, boxes = self._scan_arrays()
+        hit = ~((boxes[:, 2] < xmin) | (xmax < boxes[:, 0])
+                | (boxes[:, 3] < ymin) | (ymax < boxes[:, 1]))
+        return order[hit].tolist()
 
     def query_radius(self, x: float, y: float, radius: float) -> List[int]:
         """Candidate ids within ``radius`` of (x, y) — bbox-level filter.
@@ -122,6 +146,29 @@ class RTree:
         guarantees no false negatives.
         """
         return self.query_rect(x - radius, y - radius, x + radius, y + radius)
+
+    def query_radius_many(self, points: np.ndarray,
+                          radius: float) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR-packed radius queries for many points in one bbox pass.
+
+        Returns ``(indptr, ids)`` where point ``q``'s candidates occupy
+        ``ids[indptr[q]:indptr[q+1]]`` — each row exactly the ids (and
+        order) :meth:`query_radius` returns for that point.  One (Q, n)
+        broadcast test replaces Q separate scans on the decode-prior hot
+        path.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if self.root is None or not len(points):
+            return np.zeros(len(points) + 1, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        order, boxes = self._scan_arrays()
+        x = points[:, 0:1]
+        y = points[:, 1:2]
+        hit = ~((boxes[None, :, 2] < x - radius) | (x + radius < boxes[None, :, 0])
+                | (boxes[None, :, 3] < y - radius) | (y + radius < boxes[None, :, 1]))
+        indptr = np.zeros(len(points) + 1, dtype=np.int64)
+        np.cumsum(hit.sum(axis=1), out=indptr[1:])
+        ids = np.broadcast_to(order, hit.shape)[hit]
+        return indptr, ids
 
     def __len__(self) -> int:
         return len(self._bboxes)

@@ -233,6 +233,49 @@ class RoadNetwork:
         order = np.argsort(dists, kind="stable")
         return ids[order], dists[order]
 
+    def segments_within_batch(self, points: np.ndarray,
+                              radius: float) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR ``(indptr, ids, dists)`` of segments within ``radius`` of
+        each row of ``points``, in R-tree candidate order (unsorted).
+
+        The multi-point twin of :meth:`segments_within_arrays` for callers
+        that scatter by segment id and don't need the nearest-first sort
+        (the decode prior).  Every arithmetic op is elementwise identical
+        to :meth:`segment_distances`, so the distances — and anything
+        derived from them — are bit-equal to Q separate single-point
+        calls.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        indptr, ids = self.rtree.query_radius_many(points, radius)
+        if not len(ids):
+            return indptr, ids, np.zeros(0)
+        g_indptr, starts, vectors, length2 = self._flat_geometry()
+        ids = np.asarray(ids, dtype=np.int64)
+        # Per-candidate query coordinates, expanded to sub-segment rows.
+        px = np.repeat(points[:, 0], np.diff(indptr))
+        py = np.repeat(points[:, 1], np.diff(indptr))
+        counts = g_indptr[ids + 1] - g_indptr[ids]
+        rows = ragged_positions(g_indptr[ids], counts)
+        sub_starts = starts[rows]
+        sub_vecs = vectors[rows]
+        sub_px = np.repeat(px, counts)
+        sub_py = np.repeat(py, counts)
+        rel_x = sub_px - sub_starts[:, 0]
+        rel_y = sub_py - sub_starts[:, 1]
+        t = (rel_x * sub_vecs[:, 0] + rel_y * sub_vecs[:, 1]) / np.maximum(
+            length2[rows], 1e-12)
+        t = np.clip(t, 0.0, 1.0)
+        foot = sub_starts + t[:, None] * sub_vecs
+        delta = np.stack([sub_px, sub_py], axis=1) - foot
+        dists = np.linalg.norm(delta, axis=1)
+        group_offsets = np.zeros(len(ids), dtype=np.int64)
+        np.cumsum(counts[:-1], out=group_offsets[1:])
+        seg_dists = np.minimum.reduceat(dists, group_offsets)
+        keep = seg_dists <= radius
+        kept_cum = np.concatenate([[0], np.cumsum(keep, dtype=np.int64)])
+        out_indptr = kept_cum[indptr]
+        return out_indptr, ids[keep], seg_dists[keep]
+
     def segments_within(self, x: float, y: float, radius: float) -> List[Tuple[int, float]]:
         """(segment_id, exact distance) pairs within ``radius`` of (x, y)."""
         ids, dists = self.segments_within_arrays(x, y, radius)

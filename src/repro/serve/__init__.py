@@ -1,14 +1,24 @@
 """``repro.serve`` — online trajectory-recovery serving subsystem.
 
 Turns the offline RNTrajRec reproduction into a service: raw low-sample
-GPS traces in, recovered ε_ρ map-matched trajectories out, with
-micro-batching, a hot-swappable model registry, request-level caching and
-telemetry.  See :class:`RecoveryService` for the facade and
-``scripts/serve.py`` / ``examples/serve_demo.py`` for runnable entries.
+GPS traces in, recovered ε_ρ map-matched trajectories out, with a
+continuous-batching decode engine (slot table advancing every in-flight
+sequence one step per kernel sweep; see :mod:`repro.serve.engine`), a
+hot-swappable model registry, request-level caching and telemetry.  See
+:class:`RecoveryService` for the facade and ``scripts/serve.py`` /
+``examples/serve_demo.py`` for runnable entries.
 """
 
-from .batching import BatchPolicy, MicroBatcher
+from .batching import BatchPolicy, ContinuousScheduler, MicroBatcher
 from .cache import LRUCache, quantize_key
+from .engine import (
+    ContinuousEngine,
+    DecodeJob,
+    DecodeResult,
+    EngineError,
+    SlotTable,
+    run_to_completion,
+)
 from .registry import ModelRegistry, bundle_paths, load_bundle_config, save_model_bundle
 from .request import (
     IngestConfig,
@@ -24,7 +34,14 @@ from .telemetry import ServingTelemetry
 
 __all__ = [
     "BatchPolicy",
+    "ContinuousEngine",
+    "ContinuousScheduler",
+    "DecodeJob",
+    "DecodeResult",
+    "EngineError",
     "MicroBatcher",
+    "SlotTable",
+    "run_to_completion",
     "LRUCache",
     "quantize_key",
     "ModelRegistry",

@@ -230,3 +230,228 @@ class MicroBatcher:
             return
         for (_, _, future), result in zip(live, results):
             future.set_result(result)
+
+
+class ContinuousScheduler:
+    """Continuous-batching scheduler over a :class:`ContinuousEngine`.
+
+    Replaces run-to-completion draining: the worker thread admits queued
+    work into free slots before *every* kernel sweep, steps all in-flight
+    sequences once, and resolves each retiring slot's future the moment
+    its own sequence finishes.  Futures are keyed by slot, not by
+    submission position — completion order is independent of admission
+    order, so a short request spliced in late resolves before an earlier
+    long one without any cross-wiring of results (the fix for the
+    micro-batcher's positional future↔result zip, which only holds
+    within one run-to-completion batch).
+
+    Two front doors share the same slot table:
+
+    * ``submit(item)`` — the one-shot path; ``prepare(item)`` builds the
+      :class:`DecodeJob` on the worker thread (encode + constraint), and
+      ``finish(item, result)`` shapes the resolved value.
+    * ``submit_job(job)`` — the streaming path; the caller already holds
+      an encoder output and a carry checkpoint (PR 6 sessions), so its
+      suffix decode joins the ragged batch as-is and the future resolves
+      to the raw :class:`DecodeResult`.
+
+    Everything — admission, prepare, sweeps, resolution — runs on the one
+    worker thread by design.  A disaggregated-admission variant (prepare
+    on its own thread, vLLM prefill/decode style) was measured and
+    rejected: at this model scale both threads are GIL-bound, so overlap
+    buys nothing, and removing the prepare-rate admission throttle lets a
+    noise burst flood the slot table and melt down tail latency.  The
+    single thread keeps admission naturally paced at one prepare per
+    sweep round.
+
+    The API mirrors :class:`MicroBatcher` (``submit`` / ``flush`` /
+    ``close`` / ``pending``) so the serving layer can swap schedulers by
+    config.  ``on_step`` receives the slot occupancy of every kernel
+    sweep — the continuous analogue of the micro-batcher's per-batch
+    occupancy metric.
+    """
+
+    def __init__(
+        self,
+        prepare: Callable[[Any], "DecodeJob"],
+        finish: Optional[Callable[[Any, "DecodeResult"], Any]] = None,
+        max_slots: int = 16,
+        on_step: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        from .engine import ContinuousEngine  # avoid import cycle at module load
+
+        self._prepare = prepare
+        self._finish = finish or (lambda item, result: result)
+        self._on_step = on_step
+        self.engine = ContinuousEngine(max_slots)
+        self._cond = threading.Condition()
+        # queue entries: (is_job, payload, future); _inflight: slot -> entry
+        self._queue: List[Tuple[bool, Any, Future]] = []
+        self._inflight: Dict[int, Tuple[bool, Any, Future]] = {}
+        self._closed = False
+        self._worker = threading.Thread(target=self._loop, daemon=True,
+                                        name="continuous-scheduler")
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, item: Any) -> Future:
+        """Enqueue one request; resolves to ``finish(item, result)``."""
+        return self._enqueue(False, item)
+
+    def submit_job(self, job: Any) -> Future:
+        """Enqueue a pre-built :class:`DecodeJob` (streaming suffix
+        decodes join here); resolves to its :class:`DecodeResult`."""
+        return self._enqueue(True, job)
+
+    def _enqueue(self, is_job: bool, payload: Any) -> Future:
+        future: Future = Future()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("ContinuousScheduler is closed")
+            self._queue.append((is_job, payload, future))
+            self._cond.notify_all()
+        return future
+
+    def flush(self) -> None:
+        """Block until everything pending at call time has completed.
+
+        The engine never idles while work exists (there is no coalescing
+        window), so flushing is purely waiting on a snapshot — sustained
+        traffic cannot keep it blocked forever.
+        """
+        with self._cond:
+            snapshot = [future for _, _, future in self._queue]
+            snapshot.extend(future for _, _, future in self._inflight.values())
+        for future in snapshot:
+            try:
+                future.exception()
+            except CancelledError:
+                pass
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the worker; ``drain`` finishes queued + in-flight decodes
+        first, otherwise they fail with ``RuntimeError``."""
+        abandoned: List[Future] = []
+        with self._cond:
+            self._closed = True
+            if not drain:
+                abandoned = [future for _, _, future in self._queue]
+                self._queue.clear()
+                self._drop = True
+            self._cond.notify_all()
+        for future in abandoned:
+            if future.set_running_or_notify_cancel():
+                future.set_exception(RuntimeError("ContinuousScheduler closed"))
+        self._worker.join(timeout=None if drain else 30.0)
+
+    _drop = False  # close(drain=False): abandon in-flight slots too
+
+    @property
+    def pending(self) -> int:
+        """Outstanding requests: queued plus in flight."""
+        with self._cond:
+            return len(self._queue) + len(self._inflight)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._cond:
+            payload = self.engine.stats()
+            payload["queued"] = len(self._queue)
+            return payload
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while (not self._queue and not self._inflight
+                       and not self._closed):
+                    self._cond.notify_all()
+                    self._cond.wait()
+                if self._closed and self._drop:
+                    self._abandon_inflight()
+                    return
+                if self._closed and not self._queue and not self._inflight:
+                    self._cond.notify_all()
+                    return
+                # At most ONE admission per round: prepare (encode +
+                # constraint build) costs many sweeps' worth of time, so
+                # admitting a whole backlog back-to-back would stall every
+                # in-flight slot for the duration — exactly the
+                # head-of-line blocking this scheduler exists to remove.
+                # One prepare between sweeps bounds the stall and keeps
+                # admission throughput unchanged (prepare is the
+                # bottleneck either way).
+                admissions = []
+                if self._queue and self.engine.free_slots:
+                    admissions.append(self._queue.pop(0))
+            # The prepare runs outside the lock — submitters must not
+            # block behind it.
+            deferred = self._admit(admissions)
+            retired = self._sweep()
+            self._resolve(retired)
+            if deferred:
+                with self._cond:
+                    self._queue[:0] = deferred  # head of line: retry next round
+
+    def _admit(self, admissions: List[Tuple[bool, Any, Future]]
+               ) -> List[Tuple[bool, Any, Future]]:
+        deferred: List[Tuple[bool, Any, Future]] = []
+        for entry in admissions:
+            is_job, payload, future = entry
+            if deferred:  # preserve arrival order behind a deferred head
+                deferred.append(entry)
+                continue
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                job = payload if is_job else self._prepare(payload)
+                slot = self.engine.admit(job)
+            except BaseException as exc:
+                future.set_exception(exc)
+                continue
+            if slot is None:  # hidden-dim conflict: wait for a drain
+                deferred.append(entry)
+                continue
+            with self._cond:
+                self._inflight[slot] = entry
+        return deferred
+
+    def _sweep(self) -> list:
+        occupancy = self.engine.inflight
+        if occupancy and self._on_step is not None:
+            try:
+                self._on_step(occupancy)
+            except Exception:
+                pass  # a broken metrics hook must never kill the worker
+        return self.engine.step()
+
+    def _resolve(self, retired: list) -> None:
+        if not retired:
+            return
+        with self._cond:
+            entries = [(self._inflight.pop(r.slot, None), r) for r in retired]
+            self._cond.notify_all()
+        for entry, retirement in entries:
+            if entry is None:
+                continue
+            is_job, payload, future = entry
+            if retirement.error is not None:
+                future.set_exception(retirement.error)
+                continue
+            try:
+                value = (retirement.result if is_job
+                         else self._finish(payload, retirement.result))
+            except BaseException as exc:
+                future.set_exception(exc)
+                continue
+            future.set_result(value)
+
+    def _abandon_inflight(self) -> None:
+        """Caller holds the lock; fail every in-flight future and exit."""
+        for retirement in self.engine.abort():
+            entry = self._inflight.pop(retirement.slot, None)
+            # In-flight futures were marked running at admission, so only
+            # set the exception (set_running_... would raise here).
+            if entry is not None and not entry[2].done():
+                entry[2].set_exception(
+                    RuntimeError("ContinuousScheduler closed"))
+        self._cond.notify_all()

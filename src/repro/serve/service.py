@@ -7,9 +7,13 @@ pipeline per request:
    model name, so hot-swaps never serve stale results);
 2. **assembly** — :func:`~repro.serve.request.assemble_sample` turns the
    raw fixes into the same sample structure the offline pipeline builds;
-3. **micro-batching** — the scheduler coalesces concurrent requests that
-   share an input length, pads their target grids to a common length and
-   runs one :meth:`RNTrajRec.recover_padded` call;
+3. **scheduling** — by default the continuous-batching engine
+   (:mod:`repro.serve.engine`): the request is admitted into a decode
+   slot and advances one step per kernel sweep next to everything else
+   in flight, retiring as soon as its own grid ends.  The legacy
+   ``microbatch`` scheduler (coalesce by input length, pad targets, one
+   :meth:`RNTrajRec.recover_padded` call, run to completion) remains
+   selectable via ``ServeConfig.scheduler``;
 4. **telemetry** — latency, QPS, cache and occupancy counters behind
    :meth:`RecoveryService.stats`.
 
@@ -27,12 +31,15 @@ from typing import List, Optional, Sequence, Tuple
 
 from .. import profile
 from ..core.config import RNTrajRecConfig
+from ..core.decoder import GreedyWeights
 from ..core.model import RNTrajRec
+from ..nn.tensor import no_grad
 from ..roadnet.network import RoadNetwork
-from ..trajectory.dataset import RecoverySample, make_padded_batch
+from ..trajectory.dataset import RecoverySample, make_batch, make_padded_batch
 from ..trajectory.trajectory import MatchedTrajectory
-from .batching import BatchPolicy, MicroBatcher
+from .batching import BatchPolicy, ContinuousScheduler, MicroBatcher
 from .cache import LRUCache, quantize_key
+from .engine import DecodeJob, DecodeResult
 from .registry import ModelRegistry
 from .request import (
     IngestConfig,
@@ -52,11 +59,21 @@ class ServeConfig:
     interval: float = 12.0         # ε_ρ output grid spacing (seconds)
     beta: float = 15.0             # constraint kernel scale (meters)
     max_gps_error: float = 100.0   # constraint search radius (meters)
+    # "continuous" (default): the slot-table decode engine — max_batch_size
+    # is the slot count, max_wait_ms is unused (admission is immediate).
+    # "microbatch": the PR 1 run-to-completion coalescing scheduler.
+    scheduler: str = "continuous"
     max_batch_size: int = 16
     max_wait_ms: float = 5.0
     cache_capacity: int = 1024
     xy_precision: float = 0.1      # cache-key quantization (meters)
     time_precision: float = 0.1    # cache-key quantization (seconds)
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in ("continuous", "microbatch"):
+            raise ValueError(
+                f"scheduler must be 'continuous' or 'microbatch'; "
+                f"got {self.scheduler!r}")
 
     @classmethod
     def for_spec(cls, spec, **overrides) -> "ServeConfig":
@@ -99,15 +116,24 @@ class RecoveryService:
         self.telemetry = ServingTelemetry()
         self.cache = LRUCache(self.config.cache_capacity)
         # Work items are (sample, model_tag, model): the model is resolved
-        # once at submit time, and the group key includes its generation tag,
-        # so a hot-swap or re-register mid-window never mixes models within a
+        # once at submit time, and the tag travels with the item, so a
+        # hot-swap or re-register mid-window never mixes models within a
         # batch nor caches a result under the wrong model's key.
-        self._batcher = MicroBatcher(
-            self._run_batch,
-            policy=self.config.policy(),
-            group_key=lambda item: (item[0].input_length, item[1]),
-            on_batch=self.telemetry.record_batch,
-        )
+        if self.config.scheduler == "continuous":
+            self._weights: dict = {}  # model tag -> GreedyWeights (worker-only)
+            self._batcher = ContinuousScheduler(
+                self._prepare_job,
+                self._finish_job,
+                max_slots=self.config.max_batch_size,
+                on_step=self.telemetry.record_batch,
+            )
+        else:
+            self._batcher = MicroBatcher(
+                self._run_batch,
+                policy=self.config.policy(),
+                group_key=lambda item: (item[0].input_length, item[1]),
+                on_batch=self.telemetry.record_batch,
+            )
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -238,17 +264,27 @@ class RecoveryService:
         one, new submissions (and cache keys) use the new one."""
         self.registry.activate(name)
 
+    @property
+    def scheduler(self) -> Optional[ContinuousScheduler]:
+        """The continuous decode scheduler, when running one — streaming
+        services join its slot table (``None`` under ``microbatch``)."""
+        batcher = self._batcher
+        return batcher if isinstance(batcher, ContinuousScheduler) else None
+
     def stats(self) -> dict:
         """Telemetry snapshot plus cache/scheduler/registry gauges."""
         payload = self.telemetry.stats()
         payload.update({
             "shard": self.shard,
+            "scheduler": self.config.scheduler,
             "cache_size": len(self.cache),
             "cache_capacity": self.cache.capacity,
             "pending": self._batcher.pending,
             "active_model": self.registry.active_name,
             "models": self.registry.names(),
         })
+        if self.scheduler is not None:
+            payload["engine"] = self.scheduler.stats()
         return payload
 
     def flush(self) -> None:
@@ -268,7 +304,7 @@ class RecoveryService:
     # ------------------------------------------------------------------
     def _run_batch(self, items: List[Tuple[RecoverySample, str, RNTrajRec]]
                    ) -> List[MatchedTrajectory]:
-        """The scheduler's runner: one padded batched greedy decode.
+        """The micro-batch scheduler's runner: one padded batched decode.
 
         All items share one group key, hence one (submit-time) model — so
         in-flight requests finish on the model that was active when they
@@ -278,3 +314,44 @@ class RecoveryService:
             batch, lengths = make_padded_batch([sample for sample, _, _ in items])
             model = items[0][2]
             return model.recover_padded(batch, lengths)
+
+    # ------------------------------------------------------------------
+    # Continuous-batching hooks (scheduler-worker thread only)
+    # ------------------------------------------------------------------
+    def _prepare_job(self, item: Tuple[RecoverySample, str, RNTrajRec]) -> DecodeJob:
+        """Admission: one batch-of-1 encode + constraint build, replaying
+        exactly the ops ``RNTrajRec.recover`` runs before its decode — the
+        structural half of the engine's bit-identity guarantee (the other
+        half is the shared per-step kernel)."""
+        sample, tag, model = item
+        with no_grad(), profile.section("serve.admit"):
+            batch = make_batch([sample])
+            with profile.section("model.encode"):
+                encoded = model.encode(batch)
+            return DecodeJob(
+                enc=encoded.point_features.data,
+                carry=model.decoder.initial_carry(
+                    encoded.trajectory_feature.data),
+                num_steps=batch.target_length,
+                constraint=model.decode_constraint(batch),
+                weights=self._greedy_weights(tag, model),
+                reachability=model.reachability,
+                tag=tag,
+            )
+
+    def _finish_job(self, item: Tuple[RecoverySample, str, RNTrajRec],
+                    result: DecodeResult) -> MatchedTrajectory:
+        sample = item[0]
+        return MatchedTrajectory(result.segments, result.rates,
+                                 sample.target.times)
+
+    def _greedy_weights(self, tag: str, model: RNTrajRec) -> GreedyWeights:
+        """Per-generation unpacked weight bundle, shared by every slot
+        decoding under that tag (only the scheduler worker touches this)."""
+        weights = self._weights.get(tag)
+        if weights is None:
+            if len(self._weights) >= 8:  # generations are short-lived
+                self._weights.pop(next(iter(self._weights)))
+            weights = GreedyWeights.from_decoder(model.decoder)
+            self._weights[tag] = weights
+        return weights

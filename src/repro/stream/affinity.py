@@ -114,7 +114,8 @@ class StreamingCluster:
                     shard.serve_config())
                 kwargs = {"clock": self._clock} if self._clock else {}
                 service = StreamingRecoveryService(
-                    shard.registry, config, shard=shard.name, **kwargs)
+                    shard.registry, config, shard=shard.name,
+                    scheduler=shard.decode_scheduler(), **kwargs)
                 self._services[shard.name] = service
             return service
 

@@ -150,14 +150,22 @@ class IncrementalEngine:
     # Decode
     # ------------------------------------------------------------------
     def decode(self, model: RNTrajRec, session: SessionState,
-               commit_horizon: int) -> DecodeOutcome:
+               commit_horizon: int,
+               scheduler=None) -> DecodeOutcome:
         """Extend the session's recovery from the checkpointed carry.
 
         Decodes the grid steps past the commit boundary in two chunks of
         the same kernel — the steps now aging past the horizon (their
         carry becomes the next checkpoint) and the still-provisional tail
         — which by the split-kernel equivalence is bit-identical to
-        decoding the span in one call."""
+        decoding the span in one call.
+
+        With a ``scheduler`` (a :class:`~repro.serve.ContinuousScheduler`,
+        the cluster-affinity path), the suffix is decoded as **one**
+        continuous-batching job joining the shard's slot table next to
+        one-shot traffic, with ``checkpoint_at`` snapshotting the carry at
+        the commit boundary in-flight — the same bits as the two-chunk
+        local path, again by the split-kernel equivalence."""
         sample = self.sample_for(session)
         batch = make_batch([sample])
         length = sample.target_length
@@ -177,18 +185,36 @@ class IncrementalEngine:
                     encoded.trajectory_feature.data)
             constraint = self._suffix_constraint(model, sample, start)
             chunks = []
-            if commit > start:  # steps committing now: checkpoint their carry
-                seg, rate, carry = model.decoder.decode_greedy_from(
-                    enc, carry, commit - start,
-                    constraint[:, :commit - start],
-                    reachability=model.reachability)
-                chunks.append((seg[0], rate[0]))
-            if length > commit:  # the provisional tail (carry discarded)
-                seg, rate, _ = model.decoder.decode_greedy_from(
-                    enc, carry, length - commit,
-                    constraint[:, commit - start:],
-                    reachability=model.reachability)
-                chunks.append((seg[0], rate[0]))
+            if scheduler is not None and length > start:
+                from ..core.decoder import GreedyWeights
+                from ..serve.engine import DecodeJob
+
+                job = DecodeJob(
+                    enc=enc, carry=carry, num_steps=length - start,
+                    constraint=constraint,
+                    weights=GreedyWeights.from_decoder(model.decoder),
+                    reachability=model.reachability,
+                    tag=session.model_tag,
+                    checkpoint_at=commit - start,
+                )
+                result = scheduler.submit_job(job).result()
+                # checkpoint is the carry after (commit - start) steps —
+                # the admitted carry itself when nothing commits this turn.
+                carry = result.checkpoint
+                chunks.append((result.segments, result.rates))
+            else:
+                if commit > start:  # committing steps: checkpoint their carry
+                    seg, rate, carry = model.decoder.decode_greedy_from(
+                        enc, carry, commit - start,
+                        constraint[:, :commit - start],
+                        reachability=model.reachability)
+                    chunks.append((seg[0], rate[0]))
+                if length > commit:  # the provisional tail (carry discarded)
+                    seg, rate, _ = model.decoder.decode_greedy_from(
+                        enc, carry, length - commit,
+                        constraint[:, commit - start:],
+                        reachability=model.reachability)
+                    chunks.append((seg[0], rate[0]))
 
         segments = np.concatenate(
             [session.segments[:start]] + [seg for seg, _ in chunks])

@@ -120,6 +120,7 @@ class StreamingRecoveryService:
                  config: Optional[StreamConfig] = None,
                  shard: str = "",
                  telemetry: Optional[ServingTelemetry] = None,
+                 scheduler=None,
                  clock=time.monotonic) -> None:
         self.registry = registry
         self.config = config or StreamConfig()
@@ -127,6 +128,9 @@ class StreamingRecoveryService:
         self.telemetry = telemetry or ServingTelemetry()
         self.engine = IncrementalEngine(registry.network, self.config.ingest())
         self.store = SessionStore(self.config.store(), clock=clock)
+        # Optional ContinuousScheduler: suffix decodes then join the same
+        # slot table as the shard's one-shot traffic (see engine.decode).
+        self.scheduler = scheduler
         self._closed = False
 
     @classmethod
@@ -173,7 +177,8 @@ class StreamingRecoveryService:
                 self.engine.append_fixes(session, xy, times)
                 session.appends += 1
                 outcome = (self.engine.decode(model, session,
-                                              self.config.commit_horizon)
+                                              self.config.commit_horizon,
+                                              scheduler=self.scheduler)
                            if session.num_fixes >= 2 else None)
         except Exception:
             self.telemetry.record_error()

@@ -377,7 +377,10 @@ class TestStatsRollup:
         assert shard["requests_by_model"] == {"default#1": 1}
         assert len(shard["replica_stats"]) == shard["replicas"]
         # profile.enable() makes the rollup carry the section registry.
-        assert "serve.batch" in stats["profile"]["sections"]
+        # The continuous scheduler admits (encode + constraint) and sweeps
+        # the slot table under its own sections.
+        assert "serve.admit" in stats["profile"]["sections"]
+        assert "engine.step" in stats["profile"]["sections"]
         json.dumps(stats)  # the whole snapshot must be JSON-serializable
 
     def test_merge_networks_offsets_and_renumbers(self, data):

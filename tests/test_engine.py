@@ -1,0 +1,538 @@
+"""Continuous-batching engine: the equivalence-first test harness.
+
+The engine's contract is absolute: every sequence's output is
+bit-identical to a solo run-to-completion ``decode_greedy`` /
+``decode_greedy_from`` over the same inputs, **regardless of what else is
+in flight** — co-residents, admission order, splice timing and slot reuse
+must all be unobservable.  The matrix below drives batch sizes × length
+mixes × arrival patterns through the raw engine, then repeats the
+guarantee at the scheduler, service and streaming-join layers.
+
+``REPRO_ENGINE_MATRIX=smoke`` trims the matrix for the CI hot-path smoke
+(small batch sizes, two arrival patterns) without weakening any single
+assertion.
+"""
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import RNTrajRec, RNTrajRecConfig
+from repro.core.decoder import GreedyWeights
+from repro.nn.tensor import no_grad
+from repro.roadnet import CityConfig, generate_city
+from repro.serve import (
+    ContinuousEngine,
+    ContinuousScheduler,
+    DecodeJob,
+    EngineError,
+    RecoveryRequest,
+    RecoveryService,
+    ServeConfig,
+    SlotTable,
+    run_to_completion,
+)
+from repro.stream import StreamConfig, StreamingRecoveryService
+from repro.trajectory import (
+    DatasetConfig,
+    SimulationConfig,
+    TrajectorySimulator,
+    build_samples,
+    make_batch,
+)
+
+CFG = RNTrajRecConfig(hidden_dim=16, num_heads=2, max_subgraph_nodes=24,
+                      receptive_delta=300.0, dropout=0.0)
+_SMOKE = os.environ.get("REPRO_ENGINE_MATRIX", "") == "smoke"
+
+BATCH_SIZES = (1, 3) if _SMOKE else (1, 3, 8)
+MIXES = ("uniform", "short_long", "straggler")
+PATTERNS = (("all_at_once", "staggered") if _SMOKE
+            else ("all_at_once", "staggered", "retire_then_admit"))
+
+
+@pytest.fixture(scope="module")
+def city():
+    return generate_city(CityConfig(width=1200, height=1200, block=250,
+                                    minor_fraction=0.5, seed=9))
+
+
+@pytest.fixture(scope="module")
+def model(city):
+    model = RNTrajRec(city, CFG)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="module")
+def pools(city):
+    """Sample pools by duration class — 'short' and 'long' trajectories
+    decode on very different ε_ρ grids, which is what the length mixes
+    permute."""
+    pools = {}
+    for label, points, seed in (("short", 9, 2), ("long", 29, 3)):
+        sim = TrajectorySimulator(
+            city, SimulationConfig(target_points=points, seed=seed))
+        pools[label] = build_samples(sim.simulate(8), city,
+                                     DatasetConfig(keep_every=4))
+    return pools
+
+
+@pytest.fixture(scope="module")
+def solo(model):
+    """Memoized solo baselines: the batch-of-1 run-to-completion decode."""
+    cache = {}
+
+    def baseline(sample):
+        key = id(sample)
+        if key not in cache:
+            seg, rate = model.recover(make_batch([sample]))
+            cache[key] = (seg[0], rate[0])
+        return cache[key]
+
+    return baseline
+
+
+def job_for(model, sample, weights=None, checkpoint_at=-1):
+    """The engine admission of one sample — exactly the ops the service's
+    ``_prepare_job`` hook runs."""
+    batch = make_batch([sample])
+    with no_grad():
+        encoded = model.encode(batch)
+        return DecodeJob(
+            enc=encoded.point_features.data,
+            carry=model.decoder.initial_carry(encoded.trajectory_feature.data),
+            num_steps=batch.target_length,
+            constraint=model.decode_constraint(batch),
+            weights=weights or GreedyWeights.from_decoder(model.decoder),
+            reachability=model.reachability,
+            checkpoint_at=checkpoint_at,
+        )
+
+
+@pytest.fixture(scope="module")
+def jobs_for(model):
+    """Memoized admission jobs: a job is immutable (admission copies the
+    carry into the slot row; nothing mutates enc/constraint), so the same
+    job can be admitted across matrix cells without re-encoding."""
+    weights = GreedyWeights.from_decoder(model.decoder)
+    cache = {}
+
+    def build(samples):
+        out = []
+        for sample in samples:
+            key = id(sample)
+            if key not in cache:
+                cache[key] = job_for(model, sample, weights=weights)
+            out.append(cache[key])
+        return out
+
+    return build
+
+
+def pick_mix(pools, mix, size):
+    short, long_ = pools["short"], pools["long"]
+    if mix == "uniform":
+        chosen = [long_[i % len(long_)] for i in range(size)]
+    elif mix == "short_long":
+        chosen = [(short if i % 2 == 0 else long_)[i % len(short)]
+                  for i in range(size)]
+    else:  # straggler: one long sequence among shorts
+        chosen = [short[i % len(short)] for i in range(size)]
+        chosen[size // 2] = long_[0]
+    return chosen
+
+
+def drive(engine, jobs, admit_when):
+    """Step the engine to completion, admitting job *i* only once
+    ``admit_when(i, engine)`` allows; returns results in ``jobs`` order."""
+    results = [None] * len(jobs)
+    slot_map = {}
+    next_index = 0
+    while next_index < len(jobs) or slot_map:
+        while (next_index < len(jobs) and engine.free_slots > 0
+               and admit_when(next_index, engine)):
+            slot_map[engine.admit(jobs[next_index])] = next_index
+            next_index += 1
+        if not slot_map:  # nothing in flight: force progress
+            slot_map[engine.admit(jobs[next_index])] = next_index
+            next_index += 1
+        for retirement in engine.step():
+            assert retirement.error is None, retirement.error
+            results[slot_map.pop(retirement.slot)] = retirement.result
+    return results
+
+
+def run_pattern(jobs, pattern):
+    if pattern == "all_at_once":
+        engine = ContinuousEngine(capacity=len(jobs))
+        return drive(engine, jobs, lambda i, e: True)
+    if pattern == "staggered":
+        # Splice job i in only after i kernel sweeps have already run —
+        # every admission lands mid-flight of its predecessors.
+        engine = ContinuousEngine(capacity=len(jobs))
+        return drive(engine, jobs, lambda i, e: e.steps >= i)
+    # retire_then_admit: a saturated 2-slot table; admissions can only
+    # ride retirements, exercising free-list reuse under load.
+    engine = ContinuousEngine(capacity=min(2, len(jobs)))
+    return drive(engine, jobs, lambda i, e: True)
+
+
+# ---------------------------------------------------------------------------
+# The equivalence matrix
+# ---------------------------------------------------------------------------
+class TestEquivalenceMatrix:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    @pytest.mark.parametrize("mix", MIXES)
+    @pytest.mark.parametrize("size", BATCH_SIZES)
+    def test_engine_bit_identical_to_solo_decode(self, pools, solo, jobs_for,
+                                                 size, mix, pattern):
+        samples = pick_mix(pools, mix, size)
+        results = run_pattern(jobs_for(samples), pattern)
+        for sample, result in zip(samples, results):
+            seg_solo, rate_solo = solo(sample)
+            assert np.array_equal(result.segments, seg_solo)
+            assert np.array_equal(result.rates, rate_solo)
+
+    def test_run_to_completion_helper_matches(self, model, pools, solo):
+        samples = pick_mix(pools, "short_long", 6)
+        engine = ContinuousEngine(capacity=3)  # forces splicing
+        results = run_to_completion(
+            engine, [job_for(model, sample) for sample in samples])
+        for sample, result in zip(samples, results):
+            seg_solo, rate_solo = solo(sample)
+            assert np.array_equal(result.segments, seg_solo)
+            assert np.array_equal(result.rates, rate_solo)
+        assert engine.inflight == 0
+        assert engine.free_slots == engine.capacity
+
+
+# ---------------------------------------------------------------------------
+# Streaming-carry joins: decode_greedy_from equivalence
+# ---------------------------------------------------------------------------
+class TestStreamingCarryJoins:
+    def _split_inputs(self, model, sample, split):
+        batch = make_batch([sample])
+        with no_grad():
+            encoded = model.encode(batch)
+            enc = encoded.point_features.data
+            constraint = model.decode_constraint(batch)
+            carry0 = model.decoder.initial_carry(
+                encoded.trajectory_feature.data)
+            # The committed prefix: decoded locally, its carry checkpointed.
+            _, _, carry = model.decoder.decode_greedy_from(
+                enc, carry0, split, constraint[:, :split],
+                reachability=model.reachability)
+        return batch, enc, constraint, carry
+
+    def test_suffix_job_matches_decode_greedy_from(self, model, pools):
+        """A mid-sequence carry spliced into a busy engine decodes its
+        suffix bit-identically to a local ``decode_greedy_from``."""
+        sample = pools["long"][1]
+        batch, enc, constraint, carry = self._split_inputs(model, sample, 5)
+        length = batch.target_length
+        with no_grad():
+            seg_ref, rate_ref, carry_ref = model.decoder.decode_greedy_from(
+                enc, carry, length - 5, constraint[:, 5:],
+                reachability=model.reachability)
+
+        suffix = DecodeJob(
+            enc=enc, carry=carry, num_steps=length - 5,
+            constraint=constraint[:, 5:],
+            weights=GreedyWeights.from_decoder(model.decoder),
+            reachability=model.reachability,
+        )
+        fresh = [job_for(model, s) for s in pools["short"][:3]]
+        engine = ContinuousEngine(capacity=4)
+        results = run_to_completion(engine, fresh + [suffix])
+        result = results[-1]
+        assert np.array_equal(result.segments, seg_ref[0])
+        assert np.array_equal(result.rates, rate_ref[0])
+        for field in ("state", "prev_embed", "prev_rate", "prev_segments"):
+            assert np.array_equal(getattr(result.carry, field),
+                                  getattr(carry_ref, field)), field
+
+    def test_checkpoint_carry_matches_split_boundary(self, model, pools):
+        """``checkpoint_at`` snapshots in-flight exactly the carry the PR 6
+        two-chunk path checkpoints at the commit boundary."""
+        sample = pools["long"][2]
+        batch = make_batch([sample])
+        length = batch.target_length
+        boundary = length - 4
+        with no_grad():
+            encoded = model.encode(batch)
+            enc = encoded.point_features.data
+            constraint = model.decode_constraint(batch)
+            carry0 = model.decoder.initial_carry(
+                encoded.trajectory_feature.data)
+            _, _, carry_ref = model.decoder.decode_greedy_from(
+                enc, carry0, boundary, constraint[:, :boundary],
+                reachability=model.reachability)
+
+        job = job_for(model, sample, checkpoint_at=boundary)
+        engine = ContinuousEngine(capacity=2)
+        result = run_to_completion(engine, [job])[0]
+        assert result.checkpoint is not None
+        for field in ("state", "prev_embed", "prev_rate", "prev_segments"):
+            assert np.array_equal(getattr(result.checkpoint, field),
+                                  getattr(carry_ref, field)), field
+
+    def test_checkpoint_at_zero_returns_admitted_carry(self, model, pools):
+        job = job_for(model, pools["short"][0], checkpoint_at=0)
+        expected = {field: np.array(getattr(job.carry, field))
+                    for field in ("state", "prev_embed", "prev_rate")}
+        result = run_to_completion(ContinuousEngine(capacity=1), [job])[0]
+        assert result.checkpoint is not None
+        assert result.checkpoint.prev_segments is None
+        for field, value in expected.items():
+            assert np.array_equal(getattr(result.checkpoint, field), value)
+
+
+# ---------------------------------------------------------------------------
+# Slot table mechanics
+# ---------------------------------------------------------------------------
+class TestSlotTableMechanics:
+    def test_saturation_raises_and_reuse_is_lifo(self, model, pools):
+        jobs = [job_for(model, s) for s in pools["short"][:3]]
+        engine = ContinuousEngine(capacity=2)
+        first = engine.admit(jobs[0])
+        second = engine.admit(jobs[1])
+        with pytest.raises(EngineError):
+            engine.admit(jobs[2])
+        # Retire one by stepping to completion, then the freed slot is
+        # reused first (LIFO free list).
+        freed = None
+        while freed is None:
+            for retirement in engine.step():
+                freed = retirement.slot
+        assert freed in (first, second)
+        assert engine.admit(jobs[2]) == freed
+
+    def test_job_validation(self, model, pools):
+        engine = ContinuousEngine(capacity=1)
+        job = job_for(model, pools["short"][0])
+        bad_steps = DecodeJob(enc=job.enc, carry=job.carry, num_steps=0,
+                              constraint=None, weights=job.weights)
+        with pytest.raises(EngineError):
+            engine.admit(bad_steps)
+        bad_checkpoint = DecodeJob(enc=job.enc, carry=job.carry,
+                                   num_steps=job.num_steps, constraint=None,
+                                   weights=job.weights,
+                                   checkpoint_at=job.num_steps + 1)
+        with pytest.raises(EngineError):
+            engine.admit(bad_checkpoint)
+
+    def test_hidden_dim_conflict_defers_until_drain(self, model, pools):
+        job = job_for(model, pools["short"][0])
+        engine = ContinuousEngine(capacity=4)
+        engine.admit(job)
+        other = DecodeJob(enc=np.zeros((1, 4, CFG.hidden_dim * 2)),
+                          carry=job.carry, num_steps=2, constraint=None,
+                          weights=job.weights)
+        assert engine.admit(other) is None  # deferred, not crashed
+        while engine.inflight:
+            engine.step()
+        # Table drained: the conflicting dim now rebuilds the table.
+        with pytest.raises(Exception):
+            engine.admit(other)  # carry shape no longer matches enc dim
+        table = SlotTable(capacity=2, hidden_dim=CFG.hidden_dim)
+        assert table.free_slots == 2
+
+    def test_retired_rows_are_scrubbed(self, model, pools):
+        engine = ContinuousEngine(capacity=1)
+        run_to_completion(engine, [job_for(model, pools["short"][0])])
+        table = engine.table
+        assert not table.active.any()
+        assert np.all(table.state == 0.0)
+        assert np.all(table.prev_embed == 0.0)
+        assert table.jobs == [None]
+        assert table.segments_out == [None]
+
+
+# ---------------------------------------------------------------------------
+# ContinuousScheduler: completion-order independence
+# ---------------------------------------------------------------------------
+class TestContinuousScheduler:
+    def test_late_short_request_completes_before_earlier_long(self, model,
+                                                              pools, solo):
+        """The regression for the FIFO-completion assumption: futures are
+        slot-keyed, so a short request admitted *after* a long one resolves
+        first — with the right result on each."""
+        long_sample, short_sample = pools["long"][0], pools["short"][0]
+        order = []
+        scheduler = ContinuousScheduler(
+            prepare=lambda sample: job_for(model, sample),
+            finish=lambda sample, result: (sample, result),
+            max_slots=4,
+        )
+        try:
+            futures = {
+                "long": scheduler.submit(long_sample),
+                "short": scheduler.submit(short_sample),
+            }
+            for name, future in futures.items():
+                future.add_done_callback(
+                    lambda _, name=name: order.append(name))
+            resolved = {name: future.result(timeout=120.0)
+                        for name, future in futures.items()}
+        finally:
+            scheduler.close()
+        assert order == ["short", "long"]
+        for name, sample in (("long", long_sample), ("short", short_sample)):
+            got_sample, result = resolved[name]
+            assert got_sample is sample
+            seg_solo, rate_solo = solo(sample)
+            assert np.array_equal(result.segments, seg_solo)
+            assert np.array_equal(result.rates, rate_solo)
+
+    def test_flush_close_and_pending(self, model, pools):
+        scheduler = ContinuousScheduler(
+            prepare=lambda sample: job_for(model, sample), max_slots=2)
+        futures = [scheduler.submit(s) for s in pools["short"][:4]]
+        scheduler.flush()
+        assert all(f.done() for f in futures)
+        assert scheduler.pending == 0
+        stats = scheduler.stats()
+        assert stats["admitted"] == 4 and stats["retired"] == 4
+        scheduler.close()
+        with pytest.raises(RuntimeError):
+            scheduler.submit(pools["short"][0])
+
+    def test_close_without_drain_fails_pending_futures(self, model, pools):
+        release = threading.Event()
+
+        def slow_prepare(sample):
+            release.wait(timeout=60.0)
+            return job_for(model, sample)
+
+        scheduler = ContinuousScheduler(prepare=slow_prepare, max_slots=2)
+        futures = [scheduler.submit(s) for s in pools["short"][:3]]
+        time.sleep(0.05)  # let the worker block inside slow_prepare
+        release.set()
+        scheduler.close(drain=False)
+        for future in futures:
+            with pytest.raises((RuntimeError, Exception)):
+                future.result(timeout=60.0)
+            assert future.done()
+
+    def test_prepare_error_fails_only_that_future(self, model, pools):
+        def prepare(sample):
+            if sample is pools["short"][1]:
+                raise ValueError("boom")
+            return job_for(model, sample)
+
+        scheduler = ContinuousScheduler(prepare=prepare, max_slots=4)
+        try:
+            good = scheduler.submit(pools["short"][0])
+            bad = scheduler.submit(pools["short"][1])
+            assert good.result(timeout=120.0) is not None
+            with pytest.raises(ValueError):
+                bad.result(timeout=120.0)
+        finally:
+            scheduler.close()
+
+
+# ---------------------------------------------------------------------------
+# Service-level equivalence: mixed-length traffic through RecoveryService
+# ---------------------------------------------------------------------------
+def _request(sample, request_id):
+    return RecoveryRequest(xy=sample.raw_low.xy, times=sample.raw_low.times,
+                           hour=sample.hour, holiday=sample.holiday,
+                           request_id=request_id)
+
+
+class TestServiceEquivalence:
+    def test_mixed_length_responses_bit_identical_to_solo(self, model, pools,
+                                                          city):
+        """End to end through ``RecoveryService`` under the continuous
+        scheduler: a mixed-length burst, every response bit-identical to
+        the solo one-shot recover of its own request."""
+        samples = pick_mix(pools, "short_long", 6)
+        service = RecoveryService.from_model(
+            model, ServeConfig(interval=12.0, beta=15.0, max_gps_error=100.0,
+                               max_batch_size=4, cache_capacity=0))
+        try:
+            requests = [_request(s, f"r{i}") for i, s in enumerate(samples)]
+            responses = service.recover_many(requests, timeout=300.0)
+            stats = service.stats()
+        finally:
+            service.close()
+        assert stats["scheduler"] == "continuous"
+        assert stats["engine"]["admitted"] == len(samples)
+        for sample, response in zip(samples, responses):
+            seg, rate = model.recover(make_batch([sample]))
+            assert np.array_equal(response.trajectory.segments, seg[0])
+            assert np.array_equal(response.trajectory.ratios, rate[0])
+
+    def test_microbatch_scheduler_still_selectable(self, model, pools):
+        service = RecoveryService.from_model(
+            model, ServeConfig(interval=12.0, beta=15.0, max_gps_error=100.0,
+                               scheduler="microbatch", max_batch_size=4,
+                               max_wait_ms=10.0, cache_capacity=0))
+        try:
+            response = service.recover(_request(pools["short"][0], "m0"),
+                                       timeout=300.0)
+            assert service.stats()["scheduler"] == "microbatch"
+            assert service.scheduler is None
+        finally:
+            service.close()
+        seg, rate = model.recover(make_batch([pools["short"][0]]))
+        assert np.array_equal(response.trajectory.segments, seg[0])
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            ServeConfig(scheduler="magic")
+
+
+# ---------------------------------------------------------------------------
+# Streaming joins at the service layer
+# ---------------------------------------------------------------------------
+class TestStreamingJoin:
+    def test_streaming_appends_identical_with_and_without_join(self, model,
+                                                               pools):
+        """A streaming session whose suffix decodes join a busy continuous
+        scheduler streams exactly the bits a scheduler-less twin streams —
+        while one-shot traffic shares the same slot table."""
+        serve = RecoveryService.from_model(
+            model, ServeConfig(interval=12.0, beta=15.0, max_gps_error=100.0,
+                               max_batch_size=8, cache_capacity=0))
+        stream_config = StreamConfig(interval=12.0, beta=15.0,
+                                     max_gps_error=100.0, commit_horizon=4)
+        joined = StreamingRecoveryService.from_model(
+            model, stream_config, scheduler=serve.scheduler)
+        local = StreamingRecoveryService.from_model(model, stream_config)
+        sample = pools["long"][3]
+        xy, times = sample.raw_low.xy, sample.raw_low.times
+        try:
+            sid_j = joined.open(hour=sample.hour)
+            sid_l = local.open(hour=sample.hour)
+            # Keep one-shot traffic in flight while the session appends.
+            noise = [serve.submit(_request(s, f"bg{i}"))
+                     for i, s in enumerate(pools["short"][:4])]
+            for i in range(len(times)):
+                update_j = joined.append(sid_j, xy[i], [times[i]])
+                update_l = local.append(sid_l, xy[i], [times[i]])
+                if update_l.trajectory is None:
+                    assert update_j.trajectory is None
+                    continue
+                assert np.array_equal(update_j.trajectory.segments,
+                                      update_l.trajectory.segments)
+                assert np.array_equal(update_j.trajectory.ratios,
+                                      update_l.trajectory.ratios)
+                assert update_j.committed_steps == update_l.committed_steps
+                assert update_j.revised_from == update_l.revised_from
+            final_j = joined.finalize(sid_j)
+            final_l = local.finalize(sid_l)
+            for future in noise:
+                future.result(timeout=300.0)
+        finally:
+            joined.close()
+            local.close()
+            serve.close()
+        assert np.array_equal(final_j.trajectory.segments,
+                              final_l.trajectory.segments)
+        assert np.array_equal(final_j.trajectory.ratios,
+                              final_l.trajectory.ratios)

@@ -180,3 +180,118 @@ class TestConstraintMaskProperties:
                 ids, weights = entry
                 assert len(ids) >= 1
                 assert np.all(weights > 0)
+
+
+class TestSlotTableProperties:
+    """Random admit/step/retire interleavings over the continuous-batching
+    slot table: no slot leaks, no state aliasing between sequences, and
+    free-list reuse never perturbs a sequence's result."""
+
+    D, V, L = 4, 6, 5  # hidden dim, vocabulary, encoder length
+
+    def _weights(self, rng):
+        from repro.core.decoder import GreedyWeights
+
+        normal = rng.normal
+        return GreedyWeights(
+            w_h=normal(size=(self.D, self.D)), w_g=normal(size=(self.D, self.D)),
+            v=normal(size=self.D),
+            w_z=normal(size=(3 * self.D + 1, self.D)), b_z=normal(size=self.D),
+            w_r=normal(size=(3 * self.D + 1, self.D)), b_r=normal(size=self.D),
+            w_c=normal(size=(3 * self.D + 1, self.D)), b_c=normal(size=self.D),
+            head=normal(size=(self.D, self.V)),
+            rate_w=normal(size=(2 * self.D, 1)), rate_b=normal(size=1),
+            embed_table=normal(size=(self.V, self.D)),
+            start=normal(size=self.D),
+            num_segments=self.V, hidden_dim=self.D,
+        )
+
+    def _job(self, rng, weights, num_steps):
+        from repro.core.decoder import GreedyCarry
+        from repro.serve.engine import DecodeJob
+
+        carry = GreedyCarry(
+            state=rng.normal(size=(1, self.D)),
+            prev_embed=rng.normal(size=(1, self.D)),
+            prev_rate=rng.uniform(0, 1, size=(1, 1)),
+            prev_segments=None,
+        )
+        return DecodeJob(
+            enc=rng.normal(size=(1, self.L, self.D)), carry=carry,
+            num_steps=num_steps,
+            constraint=rng.uniform(0.1, 1.0, size=(1, num_steps, self.V)),
+            weights=weights,
+        )
+
+    def _solo(self, job):
+        """The reference: batch-of-1 stepping outside any slot table."""
+        from repro.core.decoder import greedy_step
+        from repro.serve.engine import copy_carry
+
+        keys = job.weights.project_keys(job.enc)
+        carry = copy_carry(job.carry)
+        segments = np.zeros(job.num_steps, dtype=np.int64)
+        rates = np.zeros(job.num_steps)
+        for j in range(job.num_steps):
+            predicted, step_rates, carry = greedy_step(
+                job.weights, job.enc, keys, carry,
+                job.constraint[:, j, :], None)
+            segments[j] = predicted[0]
+            rates[j] = step_rates[0]
+        return segments, rates
+
+    @given(st.integers(0, 10_000),
+           st.integers(1, 4),
+           st.lists(st.tuples(st.booleans(), st.integers(1, 6)),
+                    min_size=1, max_size=24))
+    @settings(max_examples=40, deadline=None)
+    def test_random_interleavings_never_leak_or_alias(self, seed, capacity,
+                                                      actions):
+        from repro.serve.engine import ContinuousEngine
+
+        rng = np.random.default_rng(seed)
+        weights = self._weights(rng)
+        engine = ContinuousEngine(capacity=capacity)
+        slot_map, results = {}, {}
+        jobs = []
+
+        def check_invariants():
+            table = engine.table
+            if table is None:
+                return
+            # No leaks: active flags, free list and inflight gauge agree.
+            assert table.inflight + table.free_slots == capacity
+            assert int(table.active.sum()) == table.inflight
+            assert sorted(table._free) == sorted(set(table._free))
+            # No aliasing: every active slot's carry rows are its own.
+            active = set(int(i) for i in table.active_slots())
+            assert active == set(slot_map)
+            for i in sorted(active):
+                assert table.jobs[i] is jobs[slot_map[i]]
+
+        for admit, steps in actions:
+            if admit and engine.free_slots > 0:
+                job = self._job(rng, weights, steps)
+                slot = engine.admit(job)
+                jobs.append(job)
+                slot_map[slot] = len(jobs) - 1
+            else:
+                for retirement in engine.step():
+                    assert retirement.error is None
+                    index = slot_map.pop(retirement.slot)
+                    results[index] = retirement.result
+            check_invariants()
+
+        while slot_map:  # drain what's still in flight
+            for retirement in engine.step():
+                assert retirement.error is None
+                results[slot_map.pop(retirement.slot)] = retirement.result
+            check_invariants()
+
+        # Free-list reuse preserved every sequence's solo result bitwise.
+        assert len(results) == len(jobs)
+        assert engine.free_slots == capacity
+        for index, job in enumerate(jobs):
+            seg_solo, rate_solo = self._solo(job)
+            assert np.array_equal(results[index].segments, seg_solo)
+            assert np.array_equal(results[index].rates, rate_solo)

@@ -147,27 +147,39 @@ class RTree:
         """
         return self.query_rect(x - radius, y - radius, x + radius, y + radius)
 
-    def query_radius_many(self, points: np.ndarray,
-                          radius: float) -> Tuple[np.ndarray, np.ndarray]:
+    def query_radius_many(self, points: np.ndarray, radius: float,
+                          block: Optional[int] = None
+                          ) -> Tuple[np.ndarray, np.ndarray]:
         """CSR-packed radius queries for many points in one bbox pass.
 
         Returns ``(indptr, ids)`` where point ``q``'s candidates occupy
         ``ids[indptr[q]:indptr[q+1]]`` — each row exactly the ids (and
-        order) :meth:`query_radius` returns for that point.  One (Q, n)
-        broadcast test replaces Q separate scans on the decode-prior hot
-        path.
+        order) :meth:`query_radius` returns for that point.  The broadcast
+        test runs over blocks of query points so peak memory is bounded by
+        ``block × n`` booleans rather than ``Q × n`` on large road
+        networks, while each block keeps the vectorized inner test.
+        ``block`` overrides the default ~4M-boolean budget per block.
         """
         points = np.asarray(points, dtype=np.float64)
         if self.root is None or not len(points):
             return np.zeros(len(points) + 1, dtype=np.int64), np.zeros(0, dtype=np.int64)
         order, boxes = self._scan_arrays()
-        x = points[:, 0:1]
-        y = points[:, 1:2]
-        hit = ~((boxes[None, :, 2] < x - radius) | (x + radius < boxes[None, :, 0])
-                | (boxes[None, :, 3] < y - radius) | (y + radius < boxes[None, :, 1]))
+        if block is None:
+            block = (1 << 22) // max(1, len(order))
+        block = max(1, min(len(points), block))
+        counts = np.zeros(len(points), dtype=np.int64)
+        id_blocks: List[np.ndarray] = []
+        for start in range(0, len(points), block):
+            x = points[start:start + block, 0:1]
+            y = points[start:start + block, 1:2]
+            hit = ~((boxes[None, :, 2] < x - radius) | (x + radius < boxes[None, :, 0])
+                    | (boxes[None, :, 3] < y - radius) | (y + radius < boxes[None, :, 1]))
+            counts[start:start + block] = hit.sum(axis=1)
+            id_blocks.append(np.broadcast_to(order, hit.shape)[hit])
         indptr = np.zeros(len(points) + 1, dtype=np.int64)
-        np.cumsum(hit.sum(axis=1), out=indptr[1:])
-        ids = np.broadcast_to(order, hit.shape)[hit]
+        np.cumsum(counts, out=indptr[1:])
+        ids = (np.concatenate(id_blocks) if id_blocks
+               else np.zeros(0, dtype=np.int64))
         return indptr, ids
 
     def __len__(self) -> int:

@@ -288,7 +288,15 @@ class ContinuousScheduler:
         # queue entries: (is_job, payload, future); _inflight: slot -> entry
         self._queue: List[Tuple[bool, Any, Future]] = []
         self._inflight: Dict[int, Tuple[bool, Any, Future]] = {}
+        # Hidden-dim conflicts park here: (is_job, payload, future, job).
+        # The future is already RUNNING and the job already prepared, so a
+        # retry re-attempts only ``engine.admit`` — no second
+        # set_running_or_notify_cancel, no repeated encode.  Only the
+        # worker mutates this list (under the lock, so ``pending`` /
+        # ``flush`` see a consistent view).
+        self._deferred: List[Tuple[bool, Any, Future, Any]] = []
         self._closed = False
+        self._drop = False  # close(drain=False): abandon in-flight slots too
         self._worker = threading.Thread(target=self._loop, daemon=True,
                                         name="continuous-scheduler")
         self._worker.start()
@@ -321,6 +329,7 @@ class ContinuousScheduler:
         """
         with self._cond:
             snapshot = [future for _, _, future in self._queue]
+            snapshot.extend(future for _, _, future, _ in self._deferred)
             snapshot.extend(future for _, _, future in self._inflight.values())
         for future in snapshot:
             try:
@@ -344,13 +353,12 @@ class ContinuousScheduler:
                 future.set_exception(RuntimeError("ContinuousScheduler closed"))
         self._worker.join(timeout=None if drain else 30.0)
 
-    _drop = False  # close(drain=False): abandon in-flight slots too
-
     @property
     def pending(self) -> int:
-        """Outstanding requests: queued plus in flight."""
+        """Outstanding requests: queued, deferred, plus in flight."""
         with self._cond:
-            return len(self._queue) + len(self._inflight)
+            return (len(self._queue) + len(self._deferred)
+                    + len(self._inflight))
 
     def stats(self) -> Dict[str, Any]:
         with self._cond:
@@ -362,14 +370,15 @@ class ContinuousScheduler:
     def _loop(self) -> None:
         while True:
             with self._cond:
-                while (not self._queue and not self._inflight
-                       and not self._closed):
+                while (not self._queue and not self._deferred
+                       and not self._inflight and not self._closed):
                     self._cond.notify_all()
                     self._cond.wait()
                 if self._closed and self._drop:
                     self._abandon_inflight()
                     return
-                if self._closed and not self._queue and not self._inflight:
+                if (self._closed and not self._queue and not self._deferred
+                        and not self._inflight):
                     self._cond.notify_all()
                     return
                 # At most ONE admission per round: prepare (encode +
@@ -379,41 +388,63 @@ class ContinuousScheduler:
                 # head-of-line blocking this scheduler exists to remove.
                 # One prepare between sweeps bounds the stall and keeps
                 # admission throughput unchanged (prepare is the
-                # bottleneck either way).
-                admissions = []
-                if self._queue and self.engine.free_slots:
-                    admissions.append(self._queue.pop(0))
+                # bottleneck either way).  A deferred head blocks new
+                # admissions outright: it arrived first, and anything
+                # admitted around it would push its drain further out.
+                admission = None
+                if (not self._deferred and self._queue
+                        and self.engine.free_slots):
+                    admission = self._queue.pop(0)
             # The prepare runs outside the lock — submitters must not
             # block behind it.
-            deferred = self._admit(admissions)
+            self._retry_deferred()
+            self._admit(admission)
             retired = self._sweep()
             self._resolve(retired)
-            if deferred:
-                with self._cond:
-                    self._queue[:0] = deferred  # head of line: retry next round
 
-    def _admit(self, admissions: List[Tuple[bool, Any, Future]]
-               ) -> List[Tuple[bool, Any, Future]]:
-        deferred: List[Tuple[bool, Any, Future]] = []
-        for entry in admissions:
-            is_job, payload, future = entry
-            if deferred:  # preserve arrival order behind a deferred head
-                deferred.append(entry)
-                continue
-            if not future.set_running_or_notify_cancel():
-                continue
+    def _admit(self, entry: Optional[Tuple[bool, Any, Future]]) -> None:
+        if entry is None:
+            return
+        is_job, payload, future = entry
+        if not future.set_running_or_notify_cancel():
+            return
+        try:
+            job = payload if is_job else self._prepare(payload)
+            slot = self.engine.admit(job)
+        except BaseException as exc:
+            future.set_exception(exc)
+            return
+        if slot is None:
+            # Hidden-dim conflict: park the *prepared* job until the table
+            # drains.  The future stays RUNNING — retries go through
+            # _retry_deferred, which never calls
+            # set_running_or_notify_cancel or prepare() again.
+            with self._cond:
+                self._deferred.append((is_job, payload, future, job))
+            return
+        with self._cond:
+            self._inflight[slot] = entry
+
+    def _retry_deferred(self) -> None:
+        while True:
+            with self._cond:
+                if not self._deferred:
+                    return
+                is_job, payload, future, job = self._deferred[0]
             try:
-                job = payload if is_job else self._prepare(payload)
                 slot = self.engine.admit(job)
             except BaseException as exc:
                 future.set_exception(exc)
-                continue
-            if slot is None:  # hidden-dim conflict: wait for a drain
-                deferred.append(entry)
-                continue
+                slot = None
+                admitted = False
+            else:
+                if slot is None:  # table still occupied by the old dim
+                    return        # retry after the next sweep retires slots
+                admitted = True
             with self._cond:
-                self._inflight[slot] = entry
-        return deferred
+                self._deferred.pop(0)
+                if admitted:
+                    self._inflight[slot] = (is_job, payload, future)
 
     def _sweep(self) -> list:
         occupancy = self.engine.inflight
@@ -446,7 +477,8 @@ class ContinuousScheduler:
             future.set_result(value)
 
     def _abandon_inflight(self) -> None:
-        """Caller holds the lock; fail every in-flight future and exit."""
+        """Caller holds the lock; fail every in-flight (and deferred)
+        future and exit."""
         for retirement in self.engine.abort():
             entry = self._inflight.pop(retirement.slot, None)
             # In-flight futures were marked running at admission, so only
@@ -454,4 +486,11 @@ class ContinuousScheduler:
             if entry is not None and not entry[2].done():
                 entry[2].set_exception(
                     RuntimeError("ContinuousScheduler closed"))
+        # Deferred futures are running too (they were marked at first
+        # admission attempt) — same exception-only treatment.
+        for _, _, future, _ in self._deferred:
+            if not future.done():
+                future.set_exception(
+                    RuntimeError("ContinuousScheduler closed"))
+        self._deferred.clear()
         self._cond.notify_all()

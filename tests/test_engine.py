@@ -418,6 +418,49 @@ class TestContinuousScheduler:
                 future.result(timeout=60.0)
             assert future.done()
 
+    def test_conflicting_dim_job_defers_then_completes(self, model, city,
+                                                       pools, solo):
+        """Regression for the deferral retry: a hidden-dim conflict behind
+        in-flight work must park the already-prepared job and re-attempt
+        only the engine admission after the drain.  The broken path called
+        ``set_running_or_notify_cancel`` a second time on the RUNNING
+        future, which killed the worker thread and hung every request."""
+        wide_model = RNTrajRec(city, RNTrajRecConfig(
+            hidden_dim=8, num_heads=2, max_subgraph_nodes=24,
+            receptive_delta=300.0, dropout=0.0))
+        wide_model.eval()
+        wide_sample = pools["short"][0]
+        wide_job = job_for(wide_model, wide_sample)
+        gate = threading.Event()
+
+        def prepare(sample):
+            gate.wait(timeout=60.0)
+            return job_for(model, sample)
+
+        scheduler = ContinuousScheduler(prepare=prepare, max_slots=4)
+        try:
+            # The gate holds the worker inside the first prepare, so all
+            # three requests queue in order before any admission happens.
+            first = scheduler.submit(pools["long"][0])
+            wide = scheduler.submit_job(wide_job)     # conflicts in flight
+            behind = scheduler.submit(pools["short"][1])
+            gate.set()
+            result_first = first.result(timeout=300.0)
+            result_wide = wide.result(timeout=300.0)
+            result_behind = behind.result(timeout=300.0)
+            assert scheduler.pending == 0
+            assert scheduler.stats()["admitted"] == 3
+        finally:
+            scheduler.close()
+        for sample, result in ((pools["long"][0], result_first),
+                               (pools["short"][1], result_behind)):
+            seg_solo, rate_solo = solo(sample)
+            assert np.array_equal(result.segments, seg_solo)
+            assert np.array_equal(result.rates, rate_solo)
+        seg_wide, rate_wide = wide_model.recover(make_batch([wide_sample]))
+        assert np.array_equal(result_wide.segments, seg_wide[0])
+        assert np.array_equal(result_wide.rates, rate_wide[0])
+
     def test_prepare_error_fails_only_that_future(self, model, pools):
         def prepare(sample):
             if sample is pools["short"][1]:

@@ -188,6 +188,21 @@ class TestRTree:
             if x0 >= x - r and x1 <= x + r and y0 >= y - r and y1 <= y + r:
                 assert i in hits
 
+    def test_query_radius_many_matches_per_point(self):
+        """CSR batch queries equal per-point queries id-for-id, for every
+        chunking of the query points (including blocks that split them)."""
+        boxes = self._random_boxes(150, seed=7)
+        tree = RTree(boxes)
+        rng = np.random.default_rng(11)
+        points = rng.uniform(-50, 1050, size=(23, 2))
+        radius = 120.0
+        expected = [tree.query_radius(x, y, radius) for x, y in points]
+        for block in (None, 1, 4, 23, 1000):
+            indptr, ids = tree.query_radius_many(points, radius, block=block)
+            assert len(indptr) == len(points) + 1
+            for q, hits in enumerate(expected):
+                assert ids[indptr[q]:indptr[q + 1]].tolist() == hits, block
+
     def test_empty_tree(self):
         tree = RTree(np.zeros((0, 4)))
         assert tree.query_rect(0, 0, 1, 1) == []

@@ -19,9 +19,17 @@ robin).  The same request + rollout schedule is replayed against
 Aggregate throughput at 4 shards must be ≥ ``REPRO_BENCH_CLUSTER_MIN_SCALING``
 (default 2.5) times the monolith.  A second scenario drives one shard past
 its admission bound and asserts the cluster **sheds** (429-style
-``ShardOverloaded``) instead of queueing unboundedly.  Results — including
-per-shard p50/p99 and the shed rate — are written to ``BENCH_cluster.json``
-in the shared cache directory.
+``ShardOverloaded``) instead of queueing unboundedly.  A third scenario
+measures **memory scaling**: a ~10x-|V| city is frozen into a
+:class:`~repro.roadnet.CityArtifacts` bundle by a subprocess (so the build
+transients never touch this process), then served by N replicas sharing
+one mmap-loaded artifact set versus ONE replica over private in-memory
+copies — total extra RSS of the N shared replicas must stay ≤
+``REPRO_BENCH_CLUSTER_MEM_MAX_RSS_RATIO`` (default 1.35) times the single
+in-memory replica at ≥ ``.._MEM_MIN_QPS_RATIO`` (default 1.0) times its
+throughput, with bit-identical outputs.  Results — including per-shard
+p50/p99, the shed rate and the memory section — are written to
+``BENCH_cluster.json`` in the shared cache directory.
 
 Run with::
 
@@ -29,7 +37,12 @@ Run with::
 
 Budget knobs (env): ``REPRO_BENCH_CLUSTER_REQUESTS`` (96),
 ``_TRAJECTORIES`` (120), ``_HOT`` (3), ``_REPEAT`` (0.95),
-``_UPDATE_EVERY`` (8), ``_HIDDEN`` (32), ``_MIN_SCALING`` (2.5).
+``_UPDATE_EVERY`` (8), ``_HIDDEN`` (32), ``_MIN_SCALING`` (2.5);
+memory scenario: ``REPRO_BENCH_CLUSTER_MEM_BLOCK`` (40 → ~10x the
+district |V|), ``_MEM_REPLICAS`` (4), ``_MEM_TRAJECTORIES`` (24),
+``_MEM_REQUESTS`` (32), ``_MEM_HIDDEN`` (32), ``_MEM_MAX_RSS_RATIO``
+(1.35), ``_MEM_MIN_QPS_RATIO`` (1.0 with >1 CPU, 0.8 on one core —
+N replica threads on a single core pay the GIL convoy tax).
 
 Note on hardware: on a multi-core box sharding *also* wins steady-state
 wall clock (each shard decodes on its own scheduler thread); the rollout
@@ -37,21 +50,26 @@ scenario above is the part that holds even on one core, which is why it
 is the asserted headline.  The steady-state rows are reported unasserted.
 """
 
+import gc
 import json
 import os
+import subprocess
+import sys
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro import profile
 from repro.cluster import RecoveryCluster, ShardMap, ShardSpec
 from repro.core import RNTrajRec
 from repro.datasets import get_spec
 from repro.experiments import small_model_config
-from repro.roadnet import generate_city, merge_networks
-from repro.serve import RecoveryRequest
+from repro.roadnet import CityArtifacts, generate_city, merge_networks
+from repro.serve import ModelRegistry, RecoveryRequest, RecoveryService, ServeConfig
 from repro.trajectory.dataset import build_samples
 from repro.trajectory.simulate import TrajectorySimulator
 
@@ -367,3 +385,262 @@ def test_overload_sheds_instead_of_queueing(metro):
             "shed_rate": round(shed_rate, 3),
         }
         artifact_path.write_text(json.dumps(payload, indent=1))
+
+
+# ---------------------------------------------------------------------------
+# Scenario 3: zero-copy shared artifacts — ~10x |V| city, N replicas, ~1x RSS
+# ---------------------------------------------------------------------------
+def _mem_budget():
+    env = os.environ.get
+    return {
+        # block=40 m on chengdu's rectangle gives ~14k segments — ~10x the
+        # throughput scenario's district (block=125 → ~1.4k) and inside
+        # the paper's 8.7k-35k city range.  CI smoke relaxes to ~80.
+        "block": float(env("REPRO_BENCH_CLUSTER_MEM_BLOCK", 40.0)),
+        "replicas": int(env("REPRO_BENCH_CLUSTER_MEM_REPLICAS", 4)),
+        "trajectories": int(env("REPRO_BENCH_CLUSTER_MEM_TRAJECTORIES", 24)),
+        "requests": int(env("REPRO_BENCH_CLUSTER_MEM_REQUESTS", 32)),
+        # hidden=32 keeps the decode GEMMs big enough to release the GIL,
+        # so N replica threads aren't serialized against one batcher.
+        "hidden": int(env("REPRO_BENCH_CLUSTER_MEM_HIDDEN", 32)),
+        "max_rss_ratio": float(env("REPRO_BENCH_CLUSTER_MEM_MAX_RSS_RATIO", 1.35)),
+        # No-throughput-loss gate.  N replicas on one core pay the GIL
+        # convoy tax for N compute threads (~10-15% here, same reason the
+        # scenario-1 steady-state rows are unasserted on one core), so the
+        # default relaxes there; with real cores the replicas decode in
+        # parallel and must at least match the single in-memory replica.
+        "min_qps_ratio": float(env(
+            "REPRO_BENCH_CLUSTER_MEM_MIN_QPS_RATIO",
+            1.0 if (os.cpu_count() or 1) > 1 else 0.8)),
+    }
+
+
+#: Runs in a subprocess: the ~10x city build (network generation, model
+#: init, X_road warm-up, trajectory simulation) allocates far more than
+#: the frozen artifacts occupy, and a child process keeps those transients
+#: out of the parent's RSS baseline entirely.
+_MEM_BUILDER = r"""
+import os
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core import RNTrajRec
+from repro.datasets import get_spec
+from repro.experiments import small_model_config
+from repro.roadnet import CityArtifacts, generate_city
+from repro.trajectory.dataset import build_samples
+from repro.trajectory.simulate import TrajectorySimulator
+
+out = os.environ["REPRO_MEM_OUT"]
+spec = get_spec("chengdu")
+network = generate_city(replace(spec.city,
+                                block=float(os.environ["REPRO_MEM_BLOCK"]),
+                                minor_fraction=0.7))
+model = RNTrajRec(network,
+                  small_model_config(int(os.environ["REPRO_MEM_HIDDEN"]))).eval()
+CityArtifacts.build(network, model=model).save(os.path.join(out, "city"))
+
+pairs = TrajectorySimulator(network, spec.simulation).simulate(
+    int(os.environ["REPRO_MEM_TRAJECTORIES"]))
+pool = build_samples(pairs, network, spec.dataset)
+traces = {"hours": np.array([s.hour for s in pool]),
+          "holidays": np.array([s.holiday for s in pool])}
+for i, sample in enumerate(pool):
+    traces[f"xy{i}"] = np.asarray(sample.raw_low.xy)
+    traces[f"t{i}"] = np.asarray(sample.raw_low.times)
+np.savez(os.path.join(out, "traces.npz"), **traces)
+print(f"builder: {network.num_segments} segments, {len(pool)} traces",
+      flush=True)
+"""
+
+
+def test_memory_scaling_shared_artifacts(tmp_path):
+    budget = _mem_budget()
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    env.update(REPRO_MEM_OUT=str(tmp_path),
+               REPRO_MEM_BLOCK=str(budget["block"]),
+               REPRO_MEM_HIDDEN=str(budget["hidden"]),
+               REPRO_MEM_TRAJECTORIES=str(budget["trajectories"]))
+    subprocess.run([sys.executable, "-c", _MEM_BUILDER], env=env, check=True)
+
+    traces = np.load(tmp_path / "traces.npz")
+    hours, holidays = traces["hours"], traces["holidays"]
+    # Trace n-1 is reserved for per-phase priming; the timed schedule
+    # cycles the rest with sub-meter jitter past the cache quantization,
+    # so repeats decode for real instead of hitting the result cache.
+    pool_size = max(len(hours) - 1, 1)
+
+    def request_at(index, round_no=0):
+        k = index % pool_size
+        jitter = 0.25 * (index // pool_size) + 2.0 * round_no
+        return RecoveryRequest(traces[f"xy{k}"] + jitter, traces[f"t{k}"],
+                               hour=int(hours[k]), holiday=bool(holidays[k]),
+                               request_id=f"m{round_no}.{index}")
+
+    spec = get_spec("chengdu")
+    serve_kwargs = dict(interval=spec.simulation.sample_interval,
+                        beta=spec.dataset.beta,
+                        max_gps_error=spec.dataset.max_gps_error,
+                        max_batch_size=8, max_wait_ms=10.0, cache_capacity=16)
+    prime = RecoveryRequest(traces[f"xy{pool_size}"], traces[f"t{pool_size}"],
+                            hour=int(hours[-1]), holiday=bool(holidays[-1]),
+                            request_id="prime")
+    # The whole schedule is offered concurrently in both phases (same
+    # offered load; capacity is the variable), and one executor serves
+    # both so thread-stack overhead never skews a single phase's delta.
+    executor = ThreadPoolExecutor(max_workers=budget["requests"])
+
+    def replay(services):
+        """Two timed rounds over the schedule (round 1 shifts every trace
+        2 m, past the cache quantization, so it decodes for real); the
+        faster round is the phase's wall clock, round 0's responses its
+        equivalence transcript."""
+        services[0].recover(prime, timeout=600.0)  # warm outside the clock
+        responses, elapsed = None, float("inf")
+        for round_no in (0, 1):
+            start = time.perf_counter()
+            futures = [executor.submit(services[i % len(services)].recover,
+                                       request_at(i, round_no), 600.0)
+                       for i in range(budget["requests"])]
+            round_responses = [f.result() for f in futures]
+            elapsed = min(elapsed, time.perf_counter() - start)
+            if round_no == 0:
+                responses = round_responses
+        return responses, elapsed
+
+    def rss() -> float:
+        """Pinned RSS: collect garbage and hand the allocator's free pages
+        back to the OS before sampling, so the phases are compared on the
+        memory they actually *hold* (mmap-resident artifact pages, private
+        copies, live objects) rather than on glibc's per-thread arena
+        high-water marks, which retain freed decode transients
+        indefinitely (production tames those with MALLOC_TRIM_THRESHOLD /
+        MALLOC_ARENA_MAX; a benchmark gate must not hinge on them)."""
+        gc.collect()
+        try:
+            import ctypes
+            ctypes.CDLL("libc.so.6").malloc_trim(0)
+        except Exception:
+            pass  # non-glibc: arena slack stays in both phases alike
+        return profile.memory_snapshot()["rss_mb"]
+
+    closers = []
+    try:
+        # One-time process costs — lazy imports, numpy scratch pools,
+        # thread machinery, and above all the allocator's high-water mark
+        # for N replicas' transient decode state (glibc arenas never
+        # shrink back) — are paid by a throwaway clone of phase 1 that is
+        # torn down again BEFORE the baseline RSS sample.  What the two
+        # measured phases then add on top is the *resident structures*:
+        # mmap-backed pages once vs private copies per replica.
+        warm_art = CityArtifacts.load(str(tmp_path / "city"), mmap=True)
+        warm_reg = ModelRegistry(artifacts=warm_art)
+        warm_reg.register_artifact_model("default", activate=True)
+        warm_svcs = [RecoveryService(warm_reg, ServeConfig(**serve_kwargs))
+                     for _ in range(budget["replicas"])]
+        try:
+            replay(warm_svcs)
+        finally:
+            for service in warm_svcs:
+                service.close()
+        del warm_svcs, warm_reg, warm_art
+
+        rss0 = rss()
+
+        # Phase 1 — the PR's serving shape: ONE mmap-loaded artifact set,
+        # one registry, N replica services over it (Shard semantics).
+        started = time.perf_counter()
+        shared = CityArtifacts.load(str(tmp_path / "city"), mmap=True)
+        registry = ModelRegistry(artifacts=shared)
+        registry.register_artifact_model("default", activate=True)
+        replicas = [RecoveryService(registry, ServeConfig(**serve_kwargs))
+                    for _ in range(budget["replicas"])]
+        closers.extend(replicas)
+        shared_startup = time.perf_counter() - started
+        shared_responses, shared_elapsed = replay(replicas)
+        rss1 = rss()
+
+        # Phase 2 — the pre-PR baseline unit: ONE replica over private
+        # in-memory copies of the same frozen state (mmap=False), stacked
+        # on top so rss2-rss1 isolates exactly one such replica.  N
+        # baseline replicas would cost ~N times this delta.
+        started = time.perf_counter()
+        private = CityArtifacts.load(str(tmp_path / "city"), mmap=False)
+        baseline_registry = ModelRegistry(artifacts=private)
+        baseline_registry.register_artifact_model("default", activate=True)
+        baseline = RecoveryService(baseline_registry, ServeConfig(**serve_kwargs))
+        closers.append(baseline)
+        baseline_startup = time.perf_counter() - started
+        baseline_responses, baseline_elapsed = replay([baseline])
+        rss2 = rss()
+    finally:
+        for service in closers:
+            service.close()
+        executor.shutdown(wait=False)
+
+    # Bit-identity: the shared mmap stack and the private copy stack must
+    # produce exactly the same recoveries for the whole schedule.
+    for ours, theirs in zip(shared_responses, baseline_responses):
+        assert np.array_equal(ours.trajectory.segments, theirs.trajectory.segments)
+        assert np.array_equal(np.asarray(ours.trajectory.ratios),
+                              np.asarray(theirs.trajectory.ratios))
+        assert np.array_equal(ours.trajectory.times, theirs.trajectory.times)
+
+    shared_delta = max(rss1 - rss0, 0.0)
+    baseline_delta = max(rss2 - rss1, 1e-6)
+    rss_ratio = shared_delta / baseline_delta
+    shared_qps = budget["requests"] / shared_elapsed
+    baseline_qps = budget["requests"] / baseline_elapsed
+    qps_ratio = shared_qps / baseline_qps
+    segments = registry.network.num_segments
+
+    print(f"\nMemory scaling — {segments} segments, "
+          f"{budget['replicas']} shared replicas vs 1 in-memory replica")
+    print(f"  shared   : +{shared_delta:.1f} MiB, {shared_qps:.2f} QPS, "
+          f"startup {shared_startup:.2f}s (mmap)")
+    print(f"  in-memory: +{baseline_delta:.1f} MiB, {baseline_qps:.2f} QPS, "
+          f"startup {baseline_startup:.2f}s (private copies)")
+    print(f"  RSS ratio {rss_ratio:.2f}x (gate <= {budget['max_rss_ratio']}x; "
+          f"naive {budget['replicas']}x replication ~"
+          f"{budget['replicas'] * baseline_delta:.0f} MiB), "
+          f"QPS ratio {qps_ratio:.2f}x (gate >= {budget['min_qps_ratio']}x)")
+
+    cache_dir = Path(os.environ.get("REPRO_CACHE_DIR", "benchmarks/_cache"))
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    artifact_path = cache_dir / ARTIFACT_NAME
+    payload = (json.loads(artifact_path.read_text())
+               if artifact_path.exists() else {"benchmark": "cluster"})
+    payload["memory"] = {
+        "city_segments": segments,
+        "replicas": budget["replicas"],
+        "requests": budget["requests"],
+        "workload": {k: budget[k] for k in ("block", "trajectories", "hidden")},
+        "shared": {"rss_delta_mb": round(shared_delta, 1),
+                   "qps": round(shared_qps, 3),
+                   "startup_seconds": round(shared_startup, 3)},
+        "inmemory": {"rss_delta_mb": round(baseline_delta, 1),
+                     "qps": round(baseline_qps, 3),
+                     "startup_seconds": round(baseline_startup, 3)},
+        "naive_replication_rss_mb": round(
+            budget["replicas"] * baseline_delta, 1),
+        "rss_ratio": round(rss_ratio, 3),
+        "qps_ratio": round(qps_ratio, 3),
+        "max_rss_ratio": budget["max_rss_ratio"],
+        "min_qps_ratio": budget["min_qps_ratio"],
+        "cpu_count": os.cpu_count() or 1,
+        "bit_identical": True,
+        "content_digest": shared.content_digest,
+    }
+    artifact_path.write_text(json.dumps(payload, indent=1))
+    print(f"wrote memory section to {artifact_path}")
+
+    assert rss_ratio <= budget["max_rss_ratio"], (
+        f"{budget['replicas']} shared replicas cost {rss_ratio:.2f}x one "
+        f"in-memory replica (need <= {budget['max_rss_ratio']}x)")
+    assert qps_ratio >= budget["min_qps_ratio"], (
+        f"shared replicas only {qps_ratio:.2f}x the in-memory replica's "
+        f"throughput (need >= {budget['min_qps_ratio']}x)")

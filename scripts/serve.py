@@ -33,7 +33,11 @@ Four subcommands:
              With ``--bundle`` the server starts on the light path: only
              the road network and dataset spec are rebuilt (via
              ``get_spec``/``generate_city``) — no trajectory simulation or
-             sample building.
+             sample building.  Adding ``--artifact-dir DIR`` freezes the
+             city into ``DIR/<dataset>`` on first start and mmap-loads the
+             frozen bundle (network, grid, reachability, weights, X_road)
+             zero-copy on every later start; the startup log says which
+             path was taken (``built+saved`` vs ``mmap-loaded``).
 
              Endpoints: ``POST /recover`` with a JSON body
              ``{"points": [[x, y], ...], "times": [...], "hour": 12,
@@ -59,6 +63,11 @@ Four subcommands:
                      --shard-map cluster.toml --warm --port 8018
                  PYTHONPATH=src python scripts/serve.py cluster \
                      --datasets chengdu,porto --epochs 2 --port 8018
+
+             ``--artifact-dir DIR`` gives each shard a frozen-city cache
+             (``DIR/<shard>``): first warm builds and saves it, later
+             boots mmap-load it so N replicas share one physical copy of
+             every immutable structure (see docs/cluster.md).
 
              Endpoints: ``POST /recover`` (global-frame points; 422 when
              no shard owns the trace, 429 when the owning shard sheds),
@@ -95,8 +104,9 @@ from repro.cluster import (  # noqa: E402
 from repro.core import RNTrajRec  # noqa: E402
 from repro.datasets import get_spec, load_dataset  # noqa: E402
 from repro.experiments import quick_train_config, small_model_config  # noqa: E402
-from repro.roadnet import generate_city  # noqa: E402
+from repro.roadnet import CityArtifacts, generate_city  # noqa: E402
 from repro.serve import (  # noqa: E402
+    ModelRegistry,
     RecoveryRequest,
     RecoveryService,
     RequestError,
@@ -161,11 +171,35 @@ def build_service(args, need_samples: bool = True) -> tuple:
     )
     if args.bundle is not None and not need_samples:
         spec = get_spec(args.dataset)
-        network = generate_city(spec.city)  # deterministic: matches `train`
         serve_config = ServeConfig.for_spec(spec, **common)
+        artifact_path = (str(Path(args.artifact_dir) / args.dataset)
+                         if getattr(args, "artifact_dir", None) else None)
+        if artifact_path and CityArtifacts.exists(artifact_path):
+            # Warm start: everything immutable (network CSR, grid,
+            # reachability, weights, X_road) comes back as mmap views.
+            started = time.perf_counter()
+            artifacts = CityArtifacts.load(artifact_path, mmap=True)
+            registry = ModelRegistry(artifacts=artifacts)
+            if artifacts.has_model():
+                registry.register_artifact_model("default", activate=True)
+            else:
+                registry.register("default", args.bundle, activate=True)
+                registry.load("default")
+            print(f"artifacts mmap-loaded from {artifact_path} in "
+                  f"{time.perf_counter() - started:.2f}s "
+                  f"({registry.network.num_segments} segments, zero-copy)")
+            return RecoveryService(registry, serve_config), None
+        network = generate_city(spec.city)  # deterministic: matches `train`
         print(f"Light startup: network + spec only ({network.num_segments} "
               "segments, no dataset materialization)")
-        return RecoveryService.from_checkpoint(args.bundle, network, serve_config), None
+        service = RecoveryService.from_checkpoint(args.bundle, network, serve_config)
+        if artifact_path:
+            started = time.perf_counter()
+            _, _, model = service.registry.active_ref()
+            CityArtifacts.build(network, model=model).save(artifact_path)
+            print(f"artifacts built+saved to {artifact_path} in "
+                  f"{time.perf_counter() - started:.2f}s (next start mmap-loads)")
+        return service, None
 
     data = load_dataset(args.dataset, num_trajectories=args.trajectories)
     serve_config = ServeConfig.for_dataset(data, **common)
@@ -431,7 +465,8 @@ def build_cluster(args) -> RecoveryCluster:
     # Only the explicit --datasets mode trains in-process; a shard map is
     # a production topology, where a bundle-less shard is a config error.
     factory = quick_train_factory if args.datasets else None
-    return RecoveryCluster(shard_map, model_factory=factory)
+    return RecoveryCluster(shard_map, model_factory=factory,
+                           artifact_dir=args.artifact_dir)
 
 
 def run_cluster(args) -> None:
@@ -443,6 +478,10 @@ def run_cluster(args) -> None:
         for name in names:
             print(f"warming shard {name!r} ...")
             cluster.warm([name])
+            if args.artifact_dir:
+                info = cluster.shard(name).artifact_info()
+                print(f"[{name}] artifacts {info['source']} in "
+                      f"{info['seconds']:.2f}s")
     _ClusterHandler.cluster = cluster
     server = ThreadingHTTPServer((args.host, args.port), _ClusterHandler)
     print(f"Serving {len(names)} shard(s) {names} on "
@@ -539,6 +578,10 @@ def main(argv=None) -> None:
                            help="streaming: max resident sessions")
             p.add_argument("--session-ttl", type=float, default=1800.0,
                            help="streaming: idle session lifetime (seconds)")
+            p.add_argument("--artifact-dir", default=None, metavar="DIR",
+                           help="city-artifact cache: first start freezes the "
+                                "city into DIR/<dataset>, later starts "
+                                "mmap-load it zero-copy (needs --bundle)")
 
     c = sub.add_parser("cluster", help="sharded multi-city HTTP front door")
     c.add_argument("--shard-map", default=None,
@@ -559,6 +602,10 @@ def main(argv=None) -> None:
     c.add_argument("--cache-capacity", type=int, default=1024)
     c.add_argument("--warm", action="store_true",
                    help="materialize every shard before accepting traffic")
+    c.add_argument("--artifact-dir", default=None, metavar="DIR",
+                   help="city-artifact cache: each shard freezes its city "
+                        "into DIR/<shard> on first warm and mmap-loads it "
+                        "on later boots (replicas share the mapping)")
     c.add_argument("--host", default="127.0.0.1")
     c.add_argument("--port", type=int, default=8018)
 

@@ -66,12 +66,15 @@ class RecoveryCluster:
     def __init__(self, shard_map: ShardMap,
                  model_factory: Optional[ModelFactory] = None,
                  network_factory: Optional[NetworkFactory] = None,
-                 eager: bool = False) -> None:
+                 eager: bool = False,
+                 artifact_dir: Optional[str] = None) -> None:
         self.shard_map = shard_map
+        self.artifact_dir = artifact_dir
         self.shards: List[Shard] = [
             Shard(spec, model_factory=model_factory,
                   network_factory=network_factory,
-                  serve_overrides=shard_map.serve)
+                  serve_overrides=shard_map.serve,
+                  artifact_dir=artifact_dir)
             for spec in shard_map
         ]
         self._by_name: Dict[str, Shard] = {s.name: s for s in self.shards}
@@ -220,6 +223,9 @@ class RecoveryCluster:
             },
             "router": router,
             "shards": shard_stats,
+            # Process RSS joins latency/throughput as a first-class metric:
+            # the memory-scaling benchmark and operators both read it here.
+            "memory": profile.memory_snapshot(),
         }
         if profile.PROFILER.enabled:
             payload["profile"] = profile.stats()

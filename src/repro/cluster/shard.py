@@ -18,7 +18,9 @@ because a single service cannot express them:
 
 from __future__ import annotations
 
+import os
 import threading
+import time
 from concurrent.futures import Future
 from typing import Any, Callable, Dict, List, Optional
 
@@ -26,6 +28,7 @@ import numpy as np
 
 from ..core.model import RNTrajRec
 from ..datasets.registry import get_spec
+from ..roadnet.artifacts import CityArtifacts
 from ..roadnet.generator import generate_city
 from ..roadnet.network import RoadNetwork
 from ..serve.registry import ModelRegistry
@@ -65,11 +68,18 @@ class Shard:
     def __init__(self, spec: ShardSpec,
                  model_factory: Optional[ModelFactory] = None,
                  network_factory: Optional[NetworkFactory] = None,
-                 serve_overrides: Optional[Dict[str, Any]] = None) -> None:
+                 serve_overrides: Optional[Dict[str, Any]] = None,
+                 artifact_dir: Optional[str] = None) -> None:
         self.spec = spec
         self._model_factory = model_factory
         self._network_factory = network_factory or _default_network_factory
         self._serve_overrides = dict(serve_overrides or {})
+        self._artifact_dir = artifact_dir
+        # "built" | "loaded" after warm() when artifact_dir is set; the
+        # elapsed seconds cover the whole materialization either way, so
+        # operators can read the warm-start win off stats()/logs.
+        self.artifact_source = ""
+        self.artifact_seconds = 0.0
         self._lock = threading.RLock()
         # Serializes deploy/swap sequences (register → activate → evict)
         # without blocking request admission, which only needs _lock.
@@ -123,9 +133,23 @@ class Shard:
                 raise RuntimeError(f"shard {self.name!r} is closed")
             if self._services is not None:
                 return self
-            network = self._network_factory(self.spec)
-            registry = ModelRegistry(network)
-            if self.spec.bundle is not None:
+            started = time.perf_counter()
+            artifacts: Optional[CityArtifacts] = None
+            network: Optional[RoadNetwork] = None
+            if self._artifact_dir:
+                path = self._artifact_path()
+                if CityArtifacts.exists(path):
+                    artifacts = CityArtifacts.load(path, mmap=True)
+                    network = artifacts.network()
+                    self.artifact_source = "loaded"
+            if network is None:
+                network = self._network_factory(self.spec)
+            registry = ModelRegistry(network, artifacts=artifacts)
+            if artifacts is not None and artifacts.has_model():
+                # Warm start: the frozen model snapshot supersedes the
+                # bundle/factory — same weights, zero-copy views.
+                registry.register_artifact_model("default", activate=True)
+            elif self.spec.bundle is not None:
                 registry.register("default", self.spec.bundle, activate=True)
                 registry.load("default")  # fail fast on a bad bundle
             elif self._model_factory is not None:
@@ -136,12 +160,29 @@ class Shard:
                 raise ValueError(
                     f"shard {self.name!r} has neither a bundle nor a "
                     "model_factory; nothing to serve")
+            if self._artifact_dir and artifacts is None:
+                # First boot: freeze this shard's city (structures + the
+                # just-loaded model) so every later boot mmap-loads it.
+                _, _, model = registry.active_ref()
+                CityArtifacts.build(network, model=model).save(self._artifact_path())
+                self.artifact_source = "built"
             config = self.serve_config()
             self._network = network
             self._registry = registry
             self._services = [RecoveryService(registry, config, shard=self.name)
                               for _ in range(self.spec.replicas)]
+            if self._artifact_dir:
+                self.artifact_seconds = time.perf_counter() - started
             return self
+
+    def _artifact_path(self) -> str:
+        return os.path.join(self._artifact_dir, self.spec.name)
+
+    def artifact_info(self) -> Dict[str, Any]:
+        """{"source": "built"|"loaded"|"", "seconds": float} for logs/stats."""
+        with self._lock:
+            return {"source": self.artifact_source,
+                    "seconds": round(self.artifact_seconds, 3)}
 
     # ------------------------------------------------------------------
     def localize(self, request: RecoveryRequest) -> RecoveryRequest:
@@ -267,6 +308,9 @@ class Shard:
                 "shed": self.shed_count,
                 "deploys": self.deploy_count,
             }
+            if self._artifact_dir:
+                payload["artifacts"] = {"source": self.artifact_source,
+                                        "seconds": round(self.artifact_seconds, 3)}
             services = list(self._services or ())
         if not services:
             return payload

@@ -658,6 +658,26 @@ class ReachabilityMask:
         self._indptr = np.searchsorted(roots, np.arange(n + 1, dtype=np.int64))
         self._sets_view: Optional[List[np.ndarray]] = None
 
+    @classmethod
+    def from_arrays(cls, indptr: np.ndarray, indices: np.ndarray,
+                    hops: int = 2, escape_weight: float = 0.02) -> "ReachabilityMask":
+        """A mask over an externally owned (possibly memory-mapped,
+        write-protected) CSR closure, skipping the multi-source BFS.
+
+        The closure arrays fully determine :meth:`combine`'s output, so a
+        mask rebuilt this way is bit-identical to the one the arrays were
+        exported from.  Nothing is copied; ``combine`` always writes into
+        freshly allocated outputs, so read-only sources are safe.
+        """
+        mask = object.__new__(cls)
+        mask.hops = int(hops)
+        mask.escape_weight = float(escape_weight)
+        mask._indptr = np.asarray(indptr, dtype=np.int64)
+        mask._indices = np.asarray(indices, dtype=np.int64)
+        mask.num_nodes = int(len(mask._indptr) - 1)
+        mask._sets_view = None
+        return mask
+
     @property
     def _sets(self) -> List[np.ndarray]:
         """Per-node reachable-id arrays (compatibility/introspection view),

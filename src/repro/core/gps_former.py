@@ -175,12 +175,12 @@ class GPSFormer(nn.Module):
         self._road_cache = None
         self._road_cache_generation += 1
 
-    def load_state_dict(self, state, strict: bool = True) -> None:
+    def load_state_dict(self, state, strict: bool = True, copy: bool = True) -> None:
         # Note: Module.load_state_dict on a *parent* assigns parameters
         # directly and never calls this override — RNTrajRec.load_state_dict
         # clears the cache for that path; this covers direct encoder loads.
         self.clear_road_cache()
-        super().load_state_dict(state, strict=strict)
+        super().load_state_dict(state, strict=strict, copy=copy)
 
     def _road_features(self) -> Tensor:
         """X_road — recomputed per forward while training (parameters move

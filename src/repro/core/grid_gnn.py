@@ -14,8 +14,6 @@ GCN/GIN/GAT over ID embeddings) implement the Fig. 7(a) comparison.
 
 from __future__ import annotations
 
-from typing import List, Optional
-
 import numpy as np
 
 from .. import nn, profile
@@ -35,20 +33,13 @@ class GridGNN(nn.Module):
         self.config = config
         d = config.hidden_dim
 
-        # Grid sequences are a static property of the geometry: precompute.
-        sequences: List[np.ndarray] = []
-        for segment in network.segments:
-            cells = grid.traverse_polyline(segment.polyline)
-            flat = np.asarray([grid.flat_index(r, c) for r, c in cells], dtype=np.int64)
-            sequences.append(flat)
-        self._max_len = max(len(s) for s in sequences)
+        # Grid sequences are a static property of the geometry; the network
+        # memoizes the padded (V, max_len) index matrix + validity mask so
+        # every encoder over the same network+grid shares one pair (and
+        # artifact-backed networks preload it without walking polylines).
+        self._grid_seq, self._grid_mask = network.grid_sequences(grid)
+        self._max_len = self._grid_seq.shape[1]
         num_segments = network.num_segments
-        # Padded (V, max_len) index matrix + (V, max_len) validity mask.
-        self._grid_seq = np.zeros((num_segments, self._max_len), dtype=np.int64)
-        self._grid_mask = np.zeros((num_segments, self._max_len), dtype=np.float64)
-        for i, seq in enumerate(sequences):
-            self._grid_seq[i, : len(seq)] = seq
-            self._grid_mask[i, : len(seq)] = 1.0
 
         self.grid_embedding = nn.Embedding(grid.num_cells, d)
         self.road_embedding = nn.Embedding(num_segments, d)
@@ -62,7 +53,8 @@ class GridGNN(nn.Module):
         self.fuse = nn.Linear(d + static.shape[1], d)
 
         # Self-loops keep isolated segments differentiable through GAT.
-        self._edge_index = nn.add_self_loops(network.edge_index(), num_segments)
+        # The looped index is memoized on the network and shared.
+        self._edge_index = network.edge_index_loops()
 
     def grid_sequence(self, segment_id: int) -> np.ndarray:
         """The (unpadded) grid-cell index sequence of one segment."""
@@ -110,7 +102,7 @@ class PlainRoadEncoder(nn.Module):
         static = network.static_features()
         self._static = static
         self.fuse = nn.Linear(d + static.shape[1], d)
-        self._edge_index = nn.add_self_loops(network.edge_index(), network.num_segments)
+        self._edge_index = network.edge_index_loops()
 
     def forward(self) -> Tensor:
         hidden = self.road_embedding(np.arange(self.network.num_segments))

@@ -51,13 +51,13 @@ class RNTrajRec(nn.Module):
         self.encoder.clear_road_cache()
         return super().train(mode)
 
-    def load_state_dict(self, state, strict: bool = True) -> None:
+    def load_state_dict(self, state, strict: bool = True, copy: bool = True) -> None:
         # The base implementation assigns parameters directly via
         # named_parameters() (it never recurses into submodule overrides),
         # so the encoder's memoized X_road must be dropped here — this is
         # the path load_checkpoint and the serving registry go through.
         self.encoder.clear_road_cache()
-        super().load_state_dict(state, strict=strict)
+        super().load_state_dict(state, strict=strict, copy=copy)
 
     @property
     def reachability(self) -> Optional[ReachabilityMask]:

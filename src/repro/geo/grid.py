@@ -23,6 +23,19 @@ class Grid:
     y1: float
     cell_size: float = 50.0
 
+    def to_array(self) -> np.ndarray:
+        """The five defining floats, for artifact serialization."""
+        return np.array([self.x0, self.y0, self.x1, self.y1, self.cell_size],
+                        dtype=np.float64)
+
+    @classmethod
+    def from_array(cls, values: np.ndarray) -> "Grid":
+        """Rebuild a grid saved with :meth:`to_array` (exact floats, so the
+        result compares equal to — and hashes like — the original)."""
+        values = np.asarray(values, dtype=np.float64)
+        return cls(float(values[0]), float(values[1]), float(values[2]),
+                   float(values[3]), float(values[4]))
+
     @property
     def cols(self) -> int:
         return max(1, int(np.ceil((self.x1 - self.x0) / self.cell_size)))

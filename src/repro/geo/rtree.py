@@ -54,6 +54,37 @@ class RTree:
         self._scan_order: Optional[np.ndarray] = None
         self._scan_boxes: Optional[np.ndarray] = None
 
+    @classmethod
+    def from_arrays(cls, bboxes: np.ndarray, scan_order: np.ndarray,
+                    scan_boxes: Optional[np.ndarray] = None,
+                    leaf_capacity: int = 16) -> "RTree":
+        """An index over externally owned (possibly memory-mapped,
+        write-protected) arrays, skipping the STR build entirely.
+
+        Every query runs off the scan arrays (see :meth:`_scan_arrays`),
+        and ``scan_order`` *is* the original build's traversal order, so
+        results are bit-identical to the tree the arrays were exported
+        from.  No array is copied: ``np.asarray`` on a matching-dtype
+        buffer returns a sharing view and read-only inputs stay read-only.
+        """
+        tree = object.__new__(cls)
+        tree._bboxes = np.asarray(bboxes, dtype=np.float64)
+        tree._leaf_capacity = max(2, leaf_capacity)
+        if len(tree._bboxes):
+            tree._scan_order = np.asarray(scan_order, dtype=np.int64)
+            tree._scan_boxes = (np.asarray(scan_boxes, dtype=np.float64)
+                                if scan_boxes is not None
+                                else tree._bboxes[tree._scan_order])
+            # Queries never walk the node tree once scan arrays exist; a
+            # bare root carrying the union bbox keeps `root is None`
+            # emptiness checks working without re-packing.
+            tree.root = _Node(bbox=_union_bbox(tree._bboxes))
+        else:
+            tree._scan_order = None
+            tree._scan_boxes = None
+            tree.root = None
+        return tree
+
     # ------------------------------------------------------------------
     # STR bulk loading
     # ------------------------------------------------------------------

@@ -113,7 +113,17 @@ class Module:
         state.update({name: np.asarray(value).copy() for name, value in self.named_buffers()})
         return state
 
-    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True,
+                        copy: bool = True) -> None:
+        """Install ``state`` into the module's parameters and buffers.
+
+        With ``copy=False`` the incoming arrays are adopted as-is (views,
+        not copies) whenever dtype already matches — the zero-copy path
+        used for memory-mapped artifacts.  Adopted views may be
+        write-protected; that is deliberate: an eval-only model never
+        writes its weights, and an accidental in-place update raises
+        instead of silently corrupting shared state.
+        """
         own_params = dict(self.named_parameters())
         own_buffers = {name: (owner, attr) for name, owner, attr in self._buffer_owners()}
         own_names = set(own_params) | set(own_buffers)
@@ -132,7 +142,7 @@ class Module:
                 raise ValueError(
                     f"shape mismatch for {name}: saved {value.shape}, model {param.data.shape}"
                 )
-            param.data = value.copy()
+            param.data = value.copy() if copy else value
         for name, (owner, attr) in own_buffers.items():
             if name not in state:
                 continue
@@ -142,7 +152,7 @@ class Module:
                 raise ValueError(
                     f"shape mismatch for buffer {name}: saved {value.shape}, model {current.shape}"
                 )
-            object.__setattr__(owner, attr, value.copy())
+            object.__setattr__(owner, attr, value.copy() if copy else value)
 
     # ------------------------------------------------------------------
     # Call protocol

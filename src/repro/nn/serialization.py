@@ -5,25 +5,45 @@ Two layers:
 * :func:`save_archive` / :func:`load_archive` — generic flat
   ``name -> ndarray`` archives.  Both normalize the path to a ``.npz``
   suffix, so ``save_archive(state, "ckpt")`` followed by
-  ``load_archive("ckpt")`` round-trips: ``np.savez`` appends the suffix on
-  write, and without the same normalization the reader would look for a
-  file that does not exist.
+  ``load_archive("ckpt")`` round-trips.
 * :func:`save_checkpoint` / :func:`load_checkpoint` — the module-level
   convenience pair over ``Module.state_dict()``.
 
+Archives are written as *uncompressed* zip files whose member payloads
+start on 64-byte boundaries (via the zip extra field, the same trick
+``zipfile`` tools use for alignment).  ``np.savez`` cannot do either, and
+both matter: an aligned uncompressed member can be memory-mapped in
+place, which is what ``load_archive(path, mmap=True)`` does — every array
+comes back as a read-only ``np.memmap`` view backed by the page cache,
+shared across processes and replicas at zero copy.  The files remain
+ordinary ``.npz`` archives readable by ``np.load``.
+
 :mod:`repro.train` composes the generic layer into single-archive
-training states (model parameters + buffers, optimizer moments, RNG
-streams and counters under dotted key prefixes).
+training states; :mod:`repro.roadnet.artifacts` composes it into
+shared-memory city bundles.
 """
 
 from __future__ import annotations
 
+import io
 import os
+import struct
+import zipfile
 from typing import Dict
 
 import numpy as np
 
 from .module import Module
+
+#: Array payloads are aligned to this many bytes inside the archive so a
+#: memory-mapped view starts on a cache-line/word boundary.  numpy pads
+#: ``.npy`` headers to 64-byte multiples for exactly this reason, so an
+#: aligned member start implies an aligned array-data start.
+ALIGNMENT = 64
+
+# Private extra-field tag for alignment padding (mirrors zipalign's use
+# of an opaque vendor tag; any unknown tag is skipped by zip readers).
+_PAD_TAG = 0x4242
 
 
 def _normalize(path) -> str:
@@ -37,18 +57,96 @@ def save_archive(arrays: Dict[str, np.ndarray], path: str) -> str:
 
     Returns the normalized path actually written.  Keys may contain dots
     (``model.encoder.w``) but not ``/`` — they become zip member names.
+    Members are stored uncompressed with array data aligned to
+    :data:`ALIGNMENT` bytes, and timestamps are fixed, so identical
+    inputs produce byte-identical archives and :func:`load_archive` can
+    memory-map every member in place.
     """
     path = _normalize(path)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
-    np.savez(path, **{key: np.asarray(value) for key, value in arrays.items()})
+    with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_STORED) as archive:
+        for key, value in arrays.items():
+            buffer = io.BytesIO()
+            np.lib.format.write_array(buffer, np.asarray(value), allow_pickle=False)
+            name = key + ".npy"
+            info = zipfile.ZipInfo(name, date_time=(1980, 1, 1, 0, 0, 0))
+            info.compress_type = zipfile.ZIP_STORED
+            # Pad the local header's extra field so the member payload
+            # (and therefore the npy array data, whose header numpy pads
+            # to a 64-byte multiple) starts on an ALIGNMENT boundary.
+            header_offset = archive.fp.tell()
+            data_start = header_offset + 30 + len(name.encode("utf-8"))
+            pad = (-data_start) % ALIGNMENT
+            if 0 < pad < 4:  # an extra-field entry needs a 4-byte header
+                pad += ALIGNMENT
+            if pad:
+                info.extra = struct.pack("<HH", _PAD_TAG, pad - 4) + b"\x00" * (pad - 4)
+            archive.writestr(info, buffer.getvalue())
     return path
 
 
-def load_archive(path: str) -> Dict[str, np.ndarray]:
-    """Read back a mapping written by :func:`save_archive`."""
-    with np.load(_normalize(path)) as archive:
-        return {key: archive[key] for key in archive.files}
+def _mmap_member(path: str, handle, info: zipfile.ZipInfo) -> np.ndarray:
+    """A read-only view of one stored archive member, mapped in place.
+
+    The *local* file header is parsed from the raw file — its extra field
+    (where the alignment padding lives) may legitimately differ from the
+    central directory's, so ``ZipInfo`` alone cannot locate the payload.
+    """
+    handle.seek(info.header_offset)
+    header = handle.read(30)
+    if len(header) != 30 or header[:4] != b"PK\x03\x04":
+        raise ValueError(f"corrupt archive member {info.filename!r} in {path}")
+    name_len, extra_len = struct.unpack("<HH", header[26:30])
+    handle.seek(info.header_offset + 30 + name_len + extra_len)
+    version = np.lib.format.read_magic(handle)
+    if version == (1, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+    elif version == (2, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+    else:
+        raise ValueError(f"unsupported npy format {version} for {info.filename!r}")
+    if dtype.hasobject:
+        raise ValueError(f"cannot memory-map object array {info.filename!r}")
+    if int(np.prod(shape)) == 0:
+        # mmap cannot map zero bytes; an empty read-only array is
+        # indistinguishable from a view for every consumer.
+        empty = np.zeros(shape, dtype=dtype)
+        empty.flags.writeable = False
+        return empty
+    return np.memmap(path, dtype=dtype, mode="r", offset=handle.tell(),
+                     shape=shape, order="F" if fortran else "C")
+
+
+def load_archive(path: str, mmap: bool = False) -> Dict[str, np.ndarray]:
+    """Read back a mapping written by :func:`save_archive`.
+
+    With ``mmap=False`` every array is a private in-memory copy (writable,
+    owned by the caller).  With ``mmap=True`` stored members come back as
+    read-only ``np.memmap`` views — zero-copy, backed by the page cache,
+    shared across processes; mutating one raises ``ValueError``.
+    Compressed members (archives written by plain ``np.savez_compressed``)
+    cannot be mapped and fall back to read-only copies.
+    """
+    path = _normalize(path)
+    if not mmap:
+        with np.load(path) as archive:
+            return {key: archive[key] for key in archive.files}
+    arrays: Dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive:
+        infos = archive.infolist()
+        with open(path, "rb") as handle:
+            for info in infos:
+                name = info.filename
+                key = name[:-4] if name.endswith(".npy") else name
+                if info.compress_type == zipfile.ZIP_STORED:
+                    arrays[key] = _mmap_member(path, handle, info)
+                else:
+                    value = np.lib.format.read_array(
+                        io.BytesIO(archive.read(name)), allow_pickle=False)
+                    value.flags.writeable = False
+                    arrays[key] = value
+    return arrays
 
 
 def save_checkpoint(module: Module, path: str) -> str:
@@ -59,7 +157,14 @@ def save_checkpoint(module: Module, path: str) -> str:
     return save_archive(module.state_dict(), path)
 
 
-def load_checkpoint(module: Module, path: str, strict: bool = True) -> Module:
-    """Load parameters saved by :func:`save_checkpoint` into ``module``."""
-    module.load_state_dict(load_archive(path), strict=strict)
+def load_checkpoint(module: Module, path: str, strict: bool = True,
+                    mmap: bool = False) -> Module:
+    """Load parameters saved by :func:`save_checkpoint` into ``module``.
+
+    ``mmap=True`` installs read-only memory-mapped views directly as the
+    module's parameters and buffers (no copies) — the module must stay in
+    eval mode; any attempted in-place update raises.
+    """
+    module.load_state_dict(load_archive(path, mmap=mmap), strict=strict,
+                           copy=not mmap)
     return module

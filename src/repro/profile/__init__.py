@@ -50,6 +50,7 @@ __all__ = [
     "count",
     "enable",
     "disable",
+    "memory_snapshot",
     "reset",
     "stats",
     "report",
@@ -221,3 +222,30 @@ def stats() -> Dict[str, dict]:
 
 def report() -> str:
     return PROFILER.report()
+
+
+def memory_snapshot() -> Dict[str, float]:
+    """Current and peak resident set size of this process, in MiB.
+
+    Memory joins latency/throughput as a first-class tracked metric: the
+    cluster stats rollup, serving telemetry, and the ``bench_cluster``
+    memory-scaling section all sample it at measurement boundaries.
+    Reads ``/proc/self/status`` (``VmRSS`` / ``VmHWM``); where /proc is
+    unavailable it falls back to ``resource.getrusage`` peak RSS and
+    reports 0.0 for the current value.
+    """
+    current = peak = 0.0
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    current = int(line.split()[1]) / 1024.0
+                elif line.startswith("VmHWM:"):
+                    peak = int(line.split()[1]) / 1024.0
+    except OSError:
+        try:
+            import resource
+            peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+        except Exception:
+            pass
+    return {"rss_mb": round(current, 3), "peak_rss_mb": round(peak, 3)}

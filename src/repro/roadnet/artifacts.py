@@ -1,0 +1,240 @@
+"""Zero-copy shared-memory city artifacts for serving.
+
+A :class:`CityArtifacts` bundle freezes the *immutable* per-city serving
+state — the road network's CSR neighbor arrays and flat sub-segment
+table, the grid parameters and per-segment grid-cell sequences, the
+k-hop reachability closure, the model's parameters/buffers, and the
+frozen model's precomputed road representation X_road — into one
+content-hashed ``.npz`` directory written by
+:func:`repro.nn.serialization.save_archive` (uncompressed, 64-byte
+aligned).
+
+Reloading with ``mmap=True`` maps every array read-only straight out of
+the page cache: N replicas (and N processes) of a city share one
+physical copy of the state instead of each rebuilding and privately
+holding it, so serving memory stays ~1x a single replica as the replica
+count grows.  The :func:`~repro.roadnet.network.RoadNetwork.from_arrays`
+family of constructors guarantees bit-identical query and recovery
+outputs versus the build-in-memory path; ``tests/test_artifacts.py``
+and the ``bench_cluster`` memory-scaling section enforce both the
+equivalence and the RSS gate.
+
+Layout inside the archive (flat names, dotted namespaces):
+
+* ``net.*`` — :meth:`RoadNetwork.export_arrays` snapshot;
+* ``grid.params`` / ``grid.seq`` / ``grid.seq_mask`` — the serving grid
+  and its padded per-segment cell sequences (GridGNN's Eq. 1 input);
+* ``reach.indptr`` / ``reach.indices`` — reachability CSR closure;
+* ``model.*`` — parameters and buffers (``Module.state_dict`` names);
+* ``cache.x_road`` — the eval-mode road-encoder output, a pure function
+  of the frozen weights, precomputed once at build time.
+
+``manifest.json`` carries the format version, a sha256 content hash
+over every array, and the non-array metadata (model config, hop count,
+escape weight) needed to rebuild live objects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..geo.grid import Grid
+from ..nn.serialization import load_archive, save_archive
+from ..nn.tensor import no_grad
+from .network import RoadNetwork
+
+# repro.core imports live inside the functions that need them:
+# core.decoder imports repro.trajectory which imports this package, so a
+# module-level import would re-enter repro.core.decoder while it is
+# still initializing (whichever package imports first).
+
+ARCHIVE_NAME = "city.npz"
+MANIFEST_NAME = "manifest.json"
+FORMAT_VERSION = 1
+
+
+def content_hash(arrays: Dict[str, np.ndarray]) -> str:
+    """sha256 over every array's name, dtype, shape, and raw bytes, in
+    sorted name order — the bundle's identity for cache/deploy checks."""
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        value = np.asarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(value.dtype).encode("utf-8"))
+        digest.update(repr(value.shape).encode("utf-8"))
+        digest.update(np.ascontiguousarray(value).tobytes())
+    return digest.hexdigest()
+
+
+class CityArtifacts:
+    """One city's frozen serving state: flat arrays + manifest.
+
+    Accessors (:meth:`network`, :meth:`grid`, :meth:`reachability`,
+    :meth:`model_state`, :meth:`road_features`) are memoized, so every
+    consumer holding the same ``CityArtifacts`` shares the same live
+    objects — identity, not equality — which is what lets a registry
+    hand one network/mask/weight set to N models and replicas.
+    """
+
+    def __init__(self, arrays: Dict[str, np.ndarray], manifest: Dict,
+                 directory: Optional[str] = None) -> None:
+        self.arrays = arrays
+        self.manifest = manifest
+        self.directory = directory
+        self._network: Optional[RoadNetwork] = None
+        self._grid: Optional[Grid] = None
+        self._reachability: Optional[ReachabilityMask] = None
+        self._config: Optional[RNTrajRecConfig] = None
+
+    # ------------------------------------------------------------------
+    # Build / save / load
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, network: RoadNetwork, grid: Optional[Grid] = None,
+              reachability: Optional[ReachabilityMask] = None,
+              model=None) -> "CityArtifacts":
+        """Freeze ``network`` (and optionally a grid, a reachability mask,
+        and a trained model) into an artifact bundle.
+
+        With ``model`` given, the grid and mask default to the model's own
+        pinned ones, the state dict is packed under ``model.*``, and the
+        eval-mode X_road is computed once and packed under
+        ``cache.x_road`` so no replica ever reruns the road encoder.
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        for name, value in network.export_arrays().items():
+            arrays["net." + name] = np.asarray(value)
+        manifest: Dict = {
+            "format": FORMAT_VERSION,
+            "num_segments": int(network.num_segments),
+        }
+        if model is not None and grid is None:
+            grid = model.encoder.grid
+        if grid is not None:
+            arrays["grid.params"] = grid.to_array()
+            seq, seq_mask = network.grid_sequences(grid)
+            arrays["grid.seq"] = seq
+            arrays["grid.seq_mask"] = seq_mask
+        if model is not None and reachability is None:
+            reachability = model.reachability  # builds lazily; None if hops<=0
+        if reachability is not None:
+            arrays["reach.indptr"] = reachability._indptr
+            arrays["reach.indices"] = reachability._indices
+            manifest["reachability"] = {
+                "hops": int(reachability.hops),
+                "escape_weight": float(reachability.escape_weight),
+            }
+        if model is not None:
+            for name, value in model.state_dict().items():
+                arrays["model." + name] = value
+            from dataclasses import asdict
+            manifest["model_config"] = asdict(model.config)
+            was_training = model.training
+            if was_training:
+                model.eval()
+            with no_grad():
+                arrays["cache.x_road"] = np.asarray(
+                    model.encoder._road_features().data)
+            if was_training:
+                model.train()
+        manifest["content_hash"] = content_hash(arrays)
+        return cls(arrays, manifest)
+
+    def save(self, directory: str) -> str:
+        """Write ``city.npz`` + ``manifest.json`` under ``directory``."""
+        os.makedirs(directory, exist_ok=True)
+        save_archive(self.arrays, os.path.join(directory, ARCHIVE_NAME))
+        with open(os.path.join(directory, MANIFEST_NAME), "w") as handle:
+            json.dump(self.manifest, handle, indent=1)
+        self.directory = directory
+        return directory
+
+    @staticmethod
+    def exists(directory: str) -> bool:
+        return (os.path.exists(os.path.join(directory, ARCHIVE_NAME))
+                and os.path.exists(os.path.join(directory, MANIFEST_NAME)))
+
+    @classmethod
+    def load(cls, directory: str, mmap: bool = True,
+             verify: bool = False) -> "CityArtifacts":
+        """Reload a saved bundle.
+
+        ``mmap=True`` (the default, and the point of the module) maps
+        every array as a read-only page-cache-backed view; ``mmap=False``
+        materializes private writable copies — the in-memory baseline the
+        benchmarks compare against.  ``verify=True`` re-hashes the arrays
+        against the manifest (reads every byte; off by default).
+        """
+        with open(os.path.join(directory, MANIFEST_NAME)) as handle:
+            manifest = json.load(handle)
+        if manifest.get("format") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported artifact format {manifest.get('format')!r} "
+                f"in {directory} (expected {FORMAT_VERSION})")
+        arrays = load_archive(os.path.join(directory, ARCHIVE_NAME), mmap=mmap)
+        if verify and content_hash(arrays) != manifest.get("content_hash"):
+            raise ValueError(f"artifact content hash mismatch in {directory}")
+        return cls(arrays, manifest, directory)
+
+    # ------------------------------------------------------------------
+    # Memoized live views
+    # ------------------------------------------------------------------
+    @property
+    def content_digest(self) -> Optional[str]:
+        return self.manifest.get("content_hash")
+
+    def network(self) -> RoadNetwork:
+        """The shared zero-copy road network (one instance per bundle)."""
+        if self._network is None:
+            net_arrays = {name[4:]: value for name, value in self.arrays.items()
+                          if name.startswith("net.")}
+            network = RoadNetwork.from_arrays(net_arrays)
+            grid = self.grid()
+            if grid is not None and "grid.seq" in self.arrays:
+                network.preload_grid_sequences(
+                    grid, self.arrays["grid.seq"], self.arrays["grid.seq_mask"])
+            self._network = network
+        return self._network
+
+    def grid(self) -> Optional[Grid]:
+        if self._grid is None and "grid.params" in self.arrays:
+            self._grid = Grid.from_array(self.arrays["grid.params"])
+        return self._grid
+
+    def reachability(self) -> Optional["ReachabilityMask"]:
+        if self._reachability is None and "reach.indptr" in self.arrays:
+            from ..core.decoder import ReachabilityMask
+            meta = self.manifest.get("reachability", {})
+            self._reachability = ReachabilityMask.from_arrays(
+                self.arrays["reach.indptr"], self.arrays["reach.indices"],
+                hops=int(meta.get("hops", 2)),
+                escape_weight=float(meta.get("escape_weight", 0.02)),
+            )
+        return self._reachability
+
+    def has_model(self) -> bool:
+        return any(name.startswith("model.") for name in self.arrays)
+
+    def model_state(self) -> Dict[str, np.ndarray]:
+        """The packed state dict as raw (possibly read-only) views — pair
+        with ``load_state_dict(..., copy=False)`` for zero-copy adoption."""
+        return {name[6:]: value for name, value in self.arrays.items()
+                if name.startswith("model.")}
+
+    def model_config(self) -> Optional["RNTrajRecConfig"]:
+        if self._config is None and "model_config" in self.manifest:
+            from ..core.config import RNTrajRecConfig
+            fields = self.manifest["model_config"]
+            known = set(RNTrajRecConfig.__dataclass_fields__)
+            self._config = RNTrajRecConfig(
+                **{k: v for k, v in fields.items() if k in known})
+        return self._config
+
+    def road_features(self) -> Optional[np.ndarray]:
+        """The precomputed eval-mode X_road matrix, if packed."""
+        return self.arrays.get("cache.x_road")

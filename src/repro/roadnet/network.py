@@ -25,7 +25,7 @@ import numpy as np
 from ..geo.distance import point_along_polyline, polyline_length, project_point_to_polyline
 from ..geo.grid import Grid
 from ..geo.rtree import RTree
-from ..nn.graph import csr_from_lists, ragged_positions
+from ..nn.graph import add_self_loops, csr_from_lists, ragged_positions
 
 NUM_ROAD_LEVELS = 8
 
@@ -97,23 +97,177 @@ class RoadNetwork:
         self._csr_out: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
+    # Zero-copy construction over externally owned arrays
+    # ------------------------------------------------------------------
+    #: Object-level views a packed network materializes on first access
+    #: (see __getattr__): the array forms answer every hot-path query, so
+    #: these python structures only exist if a caller actually asks.
+    _LAZY_ATTRS = ("segments", "edges", "out_neighbors", "in_neighbors")
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, np.ndarray]) -> "RoadNetwork":
+        """A network over the array snapshot of :meth:`export_arrays`,
+        without copying.
+
+        The arrays may be externally owned — memory-mapped, write-
+        protected, shared across processes (see
+        :mod:`repro.roadnet.artifacts`).  Every derived structure the
+        query hot paths use (CSR neighbors, flat sub-segment geometry,
+        R-tree scan arrays, static features) is installed directly from
+        the snapshot; the python object views (``segments``, ``edges``,
+        neighbor lists) materialize lazily on first attribute access.
+        Queries are bit-identical to the exporting network's.
+        """
+        network = object.__new__(cls)
+        state = network.__dict__
+        state["_packed"] = arrays
+        state["_num_segments"] = int(len(arrays["poly_indptr"]) - 1)
+        state["_csr_out"] = (
+            np.asarray(arrays["out_indptr"], dtype=np.int64),
+            np.asarray(arrays["out_indices"], dtype=np.int64),
+            np.asarray(arrays["out_degree"], dtype=np.int64),
+        )
+        state["_csr_in"] = (
+            np.asarray(arrays["in_indptr"], dtype=np.int64),
+            np.asarray(arrays["in_indices"], dtype=np.int64),
+        )
+        state["_flat_geom"] = (
+            np.asarray(arrays["geom_indptr"], dtype=np.int64),
+            np.asarray(arrays["geom_starts"], dtype=np.float64),
+            np.asarray(arrays["geom_vectors"], dtype=np.float64),
+            np.asarray(arrays["geom_length2"], dtype=np.float64),
+        )
+        state["_rtree"] = RTree.from_arrays(
+            arrays["rtree_bboxes"], arrays["rtree_scan_order"], arrays["rtree_scan_boxes"]
+        )
+        state["_bounds"] = tuple(float(v) for v in arrays["bounds"])
+        state["_static"] = np.asarray(arrays["static"], dtype=np.float64)
+        state["_edge_array"] = np.asarray(arrays["edge_index"], dtype=np.int64)
+        state["_edge_loops"] = np.asarray(arrays["edge_index_loops"], dtype=np.int64)
+        state["_grid_seq_cache"] = {}
+        return network
+
+    def export_arrays(self) -> Dict[str, np.ndarray]:
+        """Flat ``name -> array`` snapshot of every immutable structure a
+        serving replica needs — the exact inverse of :meth:`from_arrays`.
+
+        Includes the derived state that is expensive to rebuild (flat
+        sub-segment geometry, R-tree scan order, static features, the
+        self-looped edge index) so a reloaded network answers its first
+        query without any build work.
+        """
+        n = self.num_segments
+        counts = np.fromiter((len(s.polyline) for s in self.segments),
+                             dtype=np.int64, count=n)
+        poly_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=poly_indptr[1:])
+        poly_points = (np.concatenate([s.polyline for s in self.segments])
+                       if n else np.zeros((0, 2), dtype=np.float64))
+        out_indptr, out_indices, out_degree = self.csr_out_neighbors()
+        in_indptr, in_indices, _ = csr_from_lists(self.in_neighbors)
+        geom_indptr, geom_starts, geom_vectors, geom_length2 = self._flat_geometry()
+        rtree = self.rtree
+        if rtree.root is not None:
+            scan_order, scan_boxes = rtree._scan_arrays()
+        else:
+            scan_order = np.zeros(0, dtype=np.int64)
+            scan_boxes = np.zeros((0, 4), dtype=np.float64)
+        return {
+            "poly_indptr": poly_indptr,
+            "poly_points": poly_points,
+            "levels": np.array([s.level for s in self.segments], dtype=np.int64),
+            "elevated": np.array([s.elevated for s in self.segments], dtype=np.bool_),
+            "edge_index": self.edge_index(),
+            "edge_index_loops": self.edge_index_loops(),
+            "out_indptr": out_indptr,
+            "out_indices": out_indices,
+            "out_degree": out_degree,
+            "in_indptr": in_indptr,
+            "in_indices": in_indices,
+            "geom_indptr": geom_indptr,
+            "geom_starts": geom_starts,
+            "geom_vectors": geom_vectors,
+            "geom_length2": geom_length2,
+            "rtree_bboxes": rtree._bboxes,
+            "rtree_scan_order": scan_order,
+            "rtree_scan_boxes": scan_boxes,
+            "bounds": np.asarray(self.bounds(), dtype=np.float64),
+            "static": self.static_features(),
+        }
+
+    def __getattr__(self, name: str):
+        # Only packed (from_arrays) instances materialize object views
+        # lazily; on ordinary instances a missing attribute is a genuine
+        # miss.  __getattr__ is only consulted after __dict__, so built
+        # networks never pay this path.
+        if name in RoadNetwork._LAZY_ATTRS and "_packed" in self.__dict__:
+            value = self._materialize_lazy(name)
+            self.__dict__[name] = value
+            return value
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")
+
+    def _materialize_lazy(self, name: str):
+        arrays = self.__dict__["_packed"]
+        n = self.num_segments
+        if name == "segments":
+            indptr = arrays["poly_indptr"]
+            points = arrays["poly_points"]
+            levels = arrays["levels"]
+            elevated = arrays["elevated"]
+            # Polylines stay views of the packed point table (RoadSegment
+            # never copies a float64 input) — read-only when the table is.
+            return [
+                RoadSegment(i, points[indptr[i]:indptr[i + 1]],
+                            level=int(levels[i]), elevated=bool(elevated[i]))
+                for i in range(n)
+            ]
+        if name == "edges":
+            edge = arrays["edge_index"]
+            return list(zip(edge[0].tolist(), edge[1].tolist()))
+        if name == "out_neighbors":
+            indptr, indices, _ = self._csr_out
+            return [indices[indptr[i]:indptr[i + 1]].tolist() for i in range(n)]
+        if name == "in_neighbors":
+            indptr, indices = self.__dict__["_csr_in"]
+            return [indices[indptr[i]:indptr[i + 1]].tolist() for i in range(n)]
+        raise AttributeError(name)  # pragma: no cover - guarded by caller
+
+    # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
     @property
     def num_segments(self) -> int:
-        return len(self.segments)
+        count = self.__dict__.get("_num_segments")
+        if count is None:
+            count = len(self.segments)
+            self.__dict__["_num_segments"] = count
+        return count
 
     def __len__(self) -> int:
-        return len(self.segments)
+        return self.num_segments
 
     def segment(self, segment_id: int) -> RoadSegment:
         return self.segments[segment_id]
 
     def edge_index(self) -> np.ndarray:
         """(2, E) array of directed segment-to-segment edges."""
+        packed = self.__dict__.get("_edge_array")
+        if packed is not None:
+            return packed
         if not self.edges:
             return np.zeros((2, 0), dtype=np.int64)
         return np.asarray(self.edges, dtype=np.int64).T
+
+    def edge_index_loops(self) -> np.ndarray:
+        """(2, E + V) edge index with self-loops appended — memoized, so
+        every model over this network shares one array instead of each
+        encoder concatenating its own copy.  Treat it as read-only."""
+        cached = self.__dict__.get("_edge_loops")
+        if cached is None:
+            cached = add_self_loops(self.edge_index(), self.num_segments)
+            self.__dict__["_edge_loops"] = cached
+        return cached
 
     def csr_out_neighbors(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Cached CSR view of the out-neighbor lists: (indptr, indices,
@@ -126,24 +280,75 @@ class RoadNetwork:
         return self._csr_out
 
     def bounds(self) -> Tuple[float, float, float, float]:
+        cached = self.__dict__.get("_bounds")
+        if cached is not None:
+            return cached
         boxes = np.asarray([s.bbox() for s in self.segments])
-        return (
+        cached = (
             float(boxes[:, 0].min()),
             float(boxes[:, 1].min()),
             float(boxes[:, 2].max()),
             float(boxes[:, 3].max()),
         )
+        self.__dict__["_bounds"] = cached
+        return cached
 
     def make_grid(self, cell_size: float = 50.0, margin: float = 100.0) -> Grid:
         """A grid covering the network with ``margin`` meters of padding."""
         x0, y0, x1, y1 = self.bounds()
         return Grid(x0 - margin, y0 - margin, x1 + margin, y1 + margin, cell_size)
 
+    def grid_sequences(self, grid: Grid) -> Tuple[np.ndarray, np.ndarray]:
+        """Padded ``(V, L)`` grid-cell index rows plus validity mask for
+        ``grid`` — the GridGNN input matrices (Eq. 1), memoized per grid.
+
+        Walking every polyline through :meth:`Grid.traverse_polyline` is a
+        python loop over all segments, and the result is a static property
+        of geometry + grid; memoizing it here (rather than per encoder)
+        means N models/replicas over one network share one matrix pair,
+        and packed networks can preload the snapshot a
+        :class:`~repro.roadnet.artifacts.CityArtifacts` bundle carries.
+        Treat the returned arrays as read-only.
+        """
+        key = (grid.x0, grid.y0, grid.x1, grid.y1, grid.cell_size)
+        cache = self.__dict__.setdefault("_grid_seq_cache", {})
+        if key not in cache:
+            sequences: List[np.ndarray] = []
+            for segment in self.segments:
+                cells = grid.traverse_polyline(segment.polyline)
+                flat = np.asarray([grid.flat_index(r, c) for r, c in cells],
+                                  dtype=np.int64)
+                sequences.append(flat)
+            max_len = max((len(s) for s in sequences), default=1)
+            seq = np.zeros((self.num_segments, max_len), dtype=np.int64)
+            mask = np.zeros((self.num_segments, max_len), dtype=np.float64)
+            for i, row in enumerate(sequences):
+                seq[i, : len(row)] = row
+                mask[i, : len(row)] = 1.0
+            cache[key] = (seq, mask)
+        return cache[key]
+
+    def preload_grid_sequences(self, grid: Grid, seq: np.ndarray,
+                               mask: np.ndarray) -> None:
+        """Install a previously exported :meth:`grid_sequences` result so
+        the polyline walk never runs (artifact warm-load path)."""
+        key = (grid.x0, grid.y0, grid.x1, grid.y1, grid.cell_size)
+        cache = self.__dict__.setdefault("_grid_seq_cache", {})
+        cache[key] = (np.asarray(seq, dtype=np.int64),
+                      np.asarray(mask, dtype=np.float64))
+
     # ------------------------------------------------------------------
     # Static features (f_r of §IV-B, size 11)
     # ------------------------------------------------------------------
     def static_features(self) -> np.ndarray:
-        """Per-segment features: one-hot level (8) + length + in/out degree."""
+        """Per-segment features: one-hot level (8) + length + in/out degree.
+
+        Packed networks return the (read-only, shared) exported matrix;
+        built networks compute a fresh caller-owned copy.
+        """
+        packed = self.__dict__.get("_static")
+        if packed is not None:
+            return packed
         n = self.num_segments
         features = np.zeros((n, NUM_ROAD_LEVELS + 3), dtype=np.float64)
         lengths = np.array([s.length for s in self.segments])

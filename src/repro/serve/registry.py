@@ -22,6 +22,8 @@ from ..core.decoder import ReachabilityMask
 from ..core.model import RNTrajRec
 from ..geo.grid import Grid
 from ..nn.serialization import load_checkpoint, save_checkpoint
+from ..nn.tensor import Tensor
+from ..roadnet.artifacts import CityArtifacts
 from ..roadnet.network import RoadNetwork
 
 
@@ -55,9 +57,20 @@ def load_bundle_config(prefix: str) -> Optional[RNTrajRecConfig]:
 class ModelRegistry:
     """Named RNTrajRec checkpoints over one pinned road network."""
 
-    def __init__(self, network: RoadNetwork,
-                 default_config: Optional[RNTrajRecConfig] = None) -> None:
+    def __init__(self, network: Optional[RoadNetwork] = None,
+                 default_config: Optional[RNTrajRecConfig] = None,
+                 artifacts: Optional[CityArtifacts] = None) -> None:
+        """``network`` may be omitted when ``artifacts`` is given: the
+        registry then pins the bundle's shared zero-copy network, and the
+        grid / reachability / weight caches below are seeded from the
+        same bundle — N registries over one ``CityArtifacts`` share one
+        physical copy of everything immutable."""
+        if network is None:
+            if artifacts is None:
+                raise ValueError("ModelRegistry needs a network or artifacts")
+            network = artifacts.network()
         self.network = network
+        self.artifacts = artifacts
         self.default_config = default_config
         self._lock = threading.RLock()
         self._prefixes: Dict[str, str] = {}
@@ -172,12 +185,46 @@ class ModelRegistry:
             return self._active
 
     # ------------------------------------------------------------------
+    def register_artifact_model(self, name: str = "default",
+                                activate: bool = False) -> RNTrajRec:
+        """Build and register the frozen model packed in the pinned
+        :class:`CityArtifacts` bundle.
+
+        The model's parameters and buffers are adopted as read-only views
+        of the artifact arrays (``load_state_dict(copy=False)``) and the
+        precomputed X_road is installed directly, so loading N models from
+        one bundle costs O(1) array memory per model and never reruns the
+        road encoder.  The model is eval-only by construction: any
+        in-place weight write raises on the protected views.
+        """
+        if self.artifacts is None or not self.artifacts.has_model():
+            raise ValueError("registry has no artifact bundle with a packed model")
+        config = (self.artifacts.model_config() or self.default_config
+                  or RNTrajRecConfig())
+        model = RNTrajRec(self.network, config, grid=self._shared_grid(config))
+        model.load_state_dict(self.artifacts.model_state(), copy=False)
+        self.add_loaded(name, model, activate=activate)
+        x_road = self.artifacts.road_features()
+        if x_road is not None:
+            # The memo is a pure function of the frozen weights; install
+            # the packed copy after add_loaded's eval() (train-mode flips
+            # clear the cache, so this must be the last touch).
+            model.encoder._road_cache = Tensor(x_road)
+        return model
+
+    # ------------------------------------------------------------------
     def _shared_grid(self, config: RNTrajRecConfig) -> Grid:
         cell = float(config.grid_cell_size)
         with self._lock:
             grid = self._grids.get(cell)
         if grid is None:
-            built = self.network.make_grid(cell)  # built outside the lock
+            built = None
+            if self.artifacts is not None:
+                packed = self.artifacts.grid()
+                if packed is not None and float(packed.cell_size) == cell:
+                    built = packed  # identical floats to make_grid(cell)
+            if built is None:
+                built = self.network.make_grid(cell)  # built outside the lock
             with self._lock:
                 grid = self._grids.setdefault(cell, built)
         return grid
@@ -190,9 +237,14 @@ class ModelRegistry:
         with self._lock:
             mask = self._reachability.get(hops)
         if mask is None:
-            # Adopt a mask the model already built lazily rather than
-            # repeating the k-hop BFS over every segment.
+            # Adopt a mask the model already built lazily, else the
+            # artifact bundle's packed closure, rather than repeating the
+            # k-hop BFS over every segment.
             built = model._reachability
+            if (built is None or built.hops != hops) and self.artifacts is not None:
+                packed = self.artifacts.reachability()
+                if packed is not None and packed.hops == hops:
+                    built = packed
             if built is None or built.hops != hops:
                 built = ReachabilityMask(self.network.out_neighbors, hops=hops)
             with self._lock:

@@ -14,6 +14,8 @@ import time
 from collections import deque
 from typing import Deque, Dict, List
 
+from .. import profile
+
 
 class ServingTelemetry:
     """Counters behind ``RecoveryService.stats()``."""
@@ -87,12 +89,18 @@ class ServingTelemetry:
         return sorted_values[index]
 
     def stats(self) -> Dict[str, float]:
+        # Sampled outside the lock: a /proc read, not a counter.  Memory
+        # is process-wide (replicas share one process), so every replica
+        # reports the same figure — the cluster rollup reads one copy.
+        memory = profile.memory_snapshot()
         with self._lock:
             elapsed = max(time.perf_counter() - self._start, 1e-9)
             latencies = sorted(self._latencies)
             mean_occupancy = self.batched_requests / self.batches if self.batches else 0.0
             cache_hit_rate = self.cache_hits / self.requests if self.requests else 0.0
             return {
+                "rss_mb": memory["rss_mb"],
+                "peak_rss_mb": memory["peak_rss_mb"],
                 "requests": self.requests,
                 "errors": self.errors,
                 "uptime_seconds": round(elapsed, 3),

@@ -27,9 +27,25 @@ one mmap-loaded artifact set versus ONE replica over private in-memory
 copies — total extra RSS of the N shared replicas must stay ≤
 ``REPRO_BENCH_CLUSTER_MEM_MAX_RSS_RATIO`` (default 1.35) times the single
 in-memory replica at ≥ ``.._MEM_MIN_QPS_RATIO`` (default 1.0) times its
-throughput, with bit-identical outputs.  Results — including per-shard
-p50/p99, the shed rate and the memory section — are written to
-``BENCH_cluster.json`` in the shared cache directory.
+throughput, with bit-identical outputs.  A fourth scenario compares the
+two **execution backends** over the same frozen artifacts: N forked
+worker *processes* (``ShardSpec.backend="process"``) vs N in-process
+replica threads — bit-identical responses, a hardware-scaled QPS floor
+(``REPRO_BENCH_CLUSTER_PROC_MIN_QPS_RATIO``: 2.0 with ≥ 4 cores, 1.2 with
+2-3, 0.9 on one — threads and processes tie on a single core minus the
+IPC tax), and a **marginal-cost memory gate**: each extra worker beyond
+the first must cost ≤ ``.._PROC_MAX_MARGINAL_RATIO`` (default 0.6)
+times a *private-loading* single worker (``mmap=False``).  A total-tree
+gate cannot work here — every forked CPython worker irreducibly dirties
+~15-25 MiB of refcount-touched interpreter pages, so even perfect
+artifact sharing lands a 4-worker tree above 2x one worker — but the
+marginal cost cleanly separates sharing (≈0.4x at the default block)
+from a regression to private loading (≈1.0x).  The total and
+naive-replication ratios are still recorded in the artifact,
+unasserted.  Results — including per-shard p50/p99, the shed rate,
+the memory section, the process-backend section and the raw-vs-pickle
+IPC codec microbench — are written to ``BENCH_cluster.json`` in the
+shared cache directory.
 
 Run with::
 
@@ -42,7 +58,11 @@ memory scenario: ``REPRO_BENCH_CLUSTER_MEM_BLOCK`` (40 → ~10x the
 district |V|), ``_MEM_REPLICAS`` (4), ``_MEM_TRAJECTORIES`` (24),
 ``_MEM_REQUESTS`` (32), ``_MEM_HIDDEN`` (32), ``_MEM_MAX_RSS_RATIO``
 (1.35), ``_MEM_MIN_QPS_RATIO`` (1.0 with >1 CPU, 0.8 on one core —
-N replica threads on a single core pay the GIL convoy tax).
+N replica threads on a single core pay the GIL convoy tax);
+process scenario: ``REPRO_BENCH_CLUSTER_PROC_WORKERS`` (4),
+``_PROC_REQUESTS`` (48), ``_PROC_TRAJECTORIES`` (24), ``_PROC_BLOCK``
+(40), ``_PROC_HIDDEN`` (32), ``_PROC_MIN_QPS_RATIO`` (hardware-scaled,
+see above), ``_PROC_MAX_MARGINAL_RATIO`` (0.6).
 
 Note on hardware: on a multi-core box sharding *also* wins steady-state
 wall clock (each shard decodes on its own scheduler thread); the rollout
@@ -64,10 +84,17 @@ import numpy as np
 import pytest
 
 from repro import profile
-from repro.cluster import RecoveryCluster, ShardMap, ShardSpec
+from repro.cluster import RecoveryCluster, ShardMap, ShardSpec, WorkerPool
+from repro.cluster.shard import Shard
+from repro.cluster.workers import (
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
 from repro.core import RNTrajRec
 from repro.datasets import get_spec
-from repro.experiments import small_model_config
+from repro.experiments import bench_environment, small_model_config
 from repro.roadnet import CityArtifacts, generate_city, merge_networks
 from repro.serve import ModelRegistry, RecoveryRequest, RecoveryService, ServeConfig
 from repro.trajectory.dataset import build_samples
@@ -298,6 +325,7 @@ def test_cluster_throughput_vs_shard_count(metro):
     artifact_path = cache_dir / ARTIFACT_NAME
     artifact = {
         "benchmark": "cluster",
+        "env": bench_environment(),
         "workload": {k: budget[k] for k in
                      ("requests", "trajectories", "hot", "repeat",
                       "update_every", "hidden", "block")},
@@ -644,3 +672,268 @@ def test_memory_scaling_shared_artifacts(tmp_path):
     assert qps_ratio >= budget["min_qps_ratio"], (
         f"shared replicas only {qps_ratio:.2f}x the in-memory replica's "
         f"throughput (need >= {budget['min_qps_ratio']}x)")
+
+
+# ---------------------------------------------------------------------------
+# Scenario 4: process workers vs in-process replica threads (the GIL wall)
+# ---------------------------------------------------------------------------
+def _proc_budget():
+    env = os.environ.get
+    cores = os.cpu_count() or 1
+    # The whole point of the process backend is multi-core decode, so the
+    # throughput floor scales with the hardware: >= 2x at 4 workers on a
+    # >= 4-core box, modest parallelism on 2 cores, and bare parity-minus-
+    # IPC-tax (the scenario-1 steady-state caveat in reverse) on one core.
+    default_qps = 2.0 if cores >= 4 else (1.2 if cores >= 2 else 0.9)
+    return {
+        "workers": int(env("REPRO_BENCH_CLUSTER_PROC_WORKERS", 4)),
+        "requests": int(env("REPRO_BENCH_CLUSTER_PROC_REQUESTS", 48)),
+        "trajectories": int(env("REPRO_BENCH_CLUSTER_PROC_TRAJECTORIES", 24)),
+        # Same ~10x-|V| city as the memory scenario: at block=125 the
+        # artifacts are a couple of MiB and the sharing gate would be
+        # measuring interpreter noise.
+        "block": float(env("REPRO_BENCH_CLUSTER_PROC_BLOCK", 40.0)),
+        "hidden": int(env("REPRO_BENCH_CLUSTER_PROC_HIDDEN", 32)),
+        "min_qps_ratio": float(env("REPRO_BENCH_CLUSTER_PROC_MIN_QPS_RATIO",
+                                   default_qps)),
+        "max_marginal_ratio": float(
+            env("REPRO_BENCH_CLUSTER_PROC_MAX_MARGINAL_RATIO", 0.6)),
+    }
+
+
+def test_process_backend_scaling(tmp_path):
+    """N forked workers over ONE mmap'd artifact set vs N in-process
+    replica threads: bit-identical responses, aggregate QPS >=
+    ``min_qps_ratio`` x inproc (hardware-scaled — the 1-core dev box can
+    only assert the IPC tax is small), and a marginal memory gate: each
+    worker past the first costs <= ``max_marginal_ratio`` x what a
+    PRIVATE-loading (``mmap=False``) single worker weighs.  Fork-dirtied
+    interpreter pages (~15-25 MiB/worker of refcount writes) make any
+    total-tree-vs-one-worker ratio fail regardless of artifact sharing,
+    so the gate targets the one quantity sharing actually controls: the
+    incremental worker.  With mmap'd artifacts it sits around 0.4x the
+    private replica; if loading regressed to private copies it would be
+    ~1.0x."""
+    budget = _proc_budget()
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    env.update(REPRO_MEM_OUT=str(tmp_path),
+               REPRO_MEM_BLOCK=str(budget["block"]),
+               REPRO_MEM_HIDDEN=str(budget["hidden"]),
+               REPRO_MEM_TRAJECTORIES=str(budget["trajectories"]))
+    subprocess.run([sys.executable, "-c", _MEM_BUILDER], env=env, check=True)
+
+    traces = np.load(tmp_path / "traces.npz")
+    hours, holidays = traces["hours"], traces["holidays"]
+    pool_size = max(len(hours) - 1, 1)
+
+    def request_at(index, round_no=0):
+        k = index % pool_size
+        # Repeats are jittered by WHOLE meters: the sub-graph generator
+        # memoizes per point at 1 m quantization, so a sub-meter twin
+        # reuses whichever stack-mate's exact-coordinate sub-graph seeded
+        # the bucket — replica-shared on inproc, worker-private on
+        # process — and the transcripts drift ~1e-5 for cache-topology
+        # reasons, not IPC ones.  Integer shifts always land in fresh
+        # buckets, so every backend computes every sub-graph exactly and
+        # bit-identity is a statement about the wire, as intended.  The
+        # odd 3 m round stride keeps round 1's keys disjoint from every
+        # round-0 repeat (even strides) — round 1 must decode, not hit
+        # the result cache.
+        jitter = 2.0 * (index // pool_size) + 3.0 * round_no
+        return RecoveryRequest(traces[f"xy{k}"] + jitter, traces[f"t{k}"],
+                               hour=int(hours[k]), holiday=bool(holidays[k]),
+                               request_id=f"p{round_no}.{index}")
+
+    spec = get_spec("chengdu")
+    serve = dict(interval=spec.simulation.sample_interval,
+                 beta=spec.dataset.beta,
+                 max_gps_error=spec.dataset.max_gps_error,
+                 max_batch_size=8, max_wait_ms=10.0, cache_capacity=16)
+
+    def build_shard(backend, replicas):
+        shard_spec = ShardSpec(name="city", bbox=(0.0, 0.0, 1.0, 1.0),
+                               replicas=replicas, backend=backend,
+                               max_inflight=max(budget["requests"], 64))
+        return Shard(shard_spec, serve_overrides=serve,
+                     artifact_dir=str(tmp_path))
+
+    def replay(shard):
+        """Two timed offered-load rounds (round 1 shifts traces past the
+        cache quantization); min wall clock, round-0 transcript."""
+        shard.submit(request_at(0)).result(timeout=600.0)  # warm the clock out
+        responses, elapsed = None, float("inf")
+        for round_no in (0, 1):
+            start = time.perf_counter()
+            futures = [shard.submit(request_at(i, round_no))
+                       for i in range(budget["requests"])]
+            round_responses = [f.result(timeout=600.0) for f in futures]
+            elapsed = min(elapsed, time.perf_counter() - start)
+            if round_no == 0:
+                responses = round_responses
+        return responses, elapsed
+
+    def worker_tree_mb(pids):
+        """(MiB, "pss"|"rss") across the worker pids — PSS preferred so
+        mmap/fork-shared pages are charged once across the tree."""
+        pss = [profile.proc_pss_mb(pid) for pid in pids]
+        if all(p is not None for p in pss):
+            return sum(pss), "pss"
+        return sum(profile.proc_rss_mb(pid) for pid in pids), "rss"
+
+    workers = budget["workers"]
+    inproc = build_shard("inproc", workers)
+    try:
+        inproc.warm()
+        inproc_responses, inproc_elapsed = replay(inproc)
+        assert inproc.artifact_info()["source"] == "loaded"
+    finally:
+        inproc.close()
+
+    proc = build_shard("process", workers)
+    try:
+        proc.warm()
+        assert proc.artifact_info()["source"] == "loaded"
+        proc_responses, proc_elapsed = replay(proc)
+        tree_n_mb, metric = worker_tree_mb(proc.worker_pids())
+        stats = proc.stats()
+    finally:
+        proc.close()
+
+    solo = build_shard("process", 1)
+    try:
+        solo.warm()
+        _, solo_elapsed = replay(solo)
+        tree_1_mb, _ = worker_tree_mb(solo.worker_pids())
+    finally:
+        solo.close()
+
+    # Memory baseline: ONE worker that loads the artifacts PRIVATELY
+    # (mmap=False — every array materialized in its own heap).  This is
+    # what each replica would cost without sharing, so it denominates
+    # the marginal-cost gate below.
+    def private_factory():
+        artifacts = CityArtifacts.load(str(tmp_path / "city"), mmap=False)
+        registry = ModelRegistry(artifacts=artifacts)
+        registry.register_artifact_model("default", activate=True)
+        return RecoveryService(registry, ServeConfig(**serve), shard="city")
+
+    private_pool = WorkerPool(private_factory, workers=1, label="city-priv")
+    try:
+        private_pool.start()
+        for i in range(budget["requests"]):
+            private_pool.submit_to(0, request_at(i)).result(timeout=600.0)
+        private_single_mb, _ = worker_tree_mb(private_pool.pids())
+    finally:
+        private_pool.close(drain=False)
+
+    # Bit-identity across backends: IPC framing must be lossless and the
+    # worker stack must decode exactly what the in-process stack decodes.
+    for ours, theirs in zip(proc_responses, inproc_responses):
+        assert np.array_equal(ours.trajectory.segments,
+                              theirs.trajectory.segments)
+        assert np.array_equal(np.asarray(ours.trajectory.ratios),
+                              np.asarray(theirs.trajectory.ratios))
+        assert np.array_equal(ours.trajectory.times, theirs.trajectory.times)
+    assert stats["crashes"] == 0 and not stats["degraded"]
+
+    inproc_qps = budget["requests"] / inproc_elapsed
+    proc_qps = budget["requests"] / proc_elapsed
+    solo_qps = budget["requests"] / solo_elapsed
+    qps_ratio = proc_qps / inproc_qps
+    mem_ratio = tree_n_mb / max(tree_1_mb, 1e-6)
+    marginal_worker_mb = (tree_n_mb - tree_1_mb) / max(workers - 1, 1)
+    marginal_ratio = marginal_worker_mb / max(private_single_mb, 1e-6)
+
+    # IPC codec microbench: the raw struct+ndarray hot-path frames vs
+    # pickling the same dataclasses (what a naive pipe protocol would do).
+    import pickle
+
+    probe_request = request_at(0)
+    probe_response = proc_responses[0]
+    raw_request = encode_request(1, probe_request)
+    raw_response = encode_response(1, probe_response)
+
+    def per_op_us(fn, repeats=2000):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        return 1e6 * (time.perf_counter() - start) / repeats
+
+    ipc = {
+        "request_bytes_raw": len(raw_request),
+        "request_bytes_pickle": len(pickle.dumps(probe_request, protocol=5)),
+        "response_bytes_raw": len(raw_response),
+        "response_bytes_pickle": len(pickle.dumps(probe_response, protocol=5)),
+        "request_roundtrip_us_raw": round(per_op_us(
+            lambda: decode_request(encode_request(1, probe_request))), 3),
+        "request_roundtrip_us_pickle": round(per_op_us(
+            lambda: pickle.loads(pickle.dumps(probe_request, protocol=5))), 3),
+        "response_roundtrip_us_raw": round(per_op_us(
+            lambda: decode_response(encode_response(1, probe_response),
+                                    "city", 0.0)), 3),
+        "response_roundtrip_us_pickle": round(per_op_us(
+            lambda: pickle.loads(pickle.dumps(probe_response, protocol=5))), 3),
+    }
+
+    cores = os.cpu_count() or 1
+    print(f"\nProcess backend — {workers} workers on {cores} core(s), "
+          f"{budget['requests']} offered requests")
+    print(f"  inproc {workers} threads : {inproc_qps:.2f} QPS")
+    print(f"  process {workers} workers: {proc_qps:.2f} QPS "
+          f"({qps_ratio:.2f}x, gate >= {budget['min_qps_ratio']}x)")
+    print(f"  process 1 worker : {solo_qps:.2f} QPS")
+    print(f"  worker tree {metric}: {tree_n_mb:.1f} MiB ({workers} workers) "
+          f"vs {tree_1_mb:.1f} MiB (1 mmap) vs {private_single_mb:.1f} MiB "
+          f"(1 private)")
+    print(f"  marginal worker   : {marginal_worker_mb:.1f} MiB = "
+          f"{marginal_ratio:.2f}x a private replica "
+          f"(gate <= {budget['max_marginal_ratio']}x)")
+    print(f"  ipc: request {ipc['request_roundtrip_us_raw']}us raw vs "
+          f"{ipc['request_roundtrip_us_pickle']}us pickle; response "
+          f"{ipc['response_roundtrip_us_raw']}us raw vs "
+          f"{ipc['response_roundtrip_us_pickle']}us pickle")
+
+    cache_dir = Path(os.environ.get("REPRO_CACHE_DIR", "benchmarks/_cache"))
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    artifact_path = cache_dir / ARTIFACT_NAME
+    payload = (json.loads(artifact_path.read_text())
+               if artifact_path.exists() else {"benchmark": "cluster"})
+    payload["env"] = bench_environment()
+    payload["process_backend"] = {
+        "workers": workers,
+        "requests": budget["requests"],
+        "workload": {k: budget[k] for k in ("block", "trajectories", "hidden")},
+        "inproc_qps": round(inproc_qps, 3),
+        "process_qps": round(proc_qps, 3),
+        "process_solo_qps": round(solo_qps, 3),
+        "qps_ratio": round(qps_ratio, 3),
+        "min_qps_ratio": budget["min_qps_ratio"],
+        "memory_metric": metric,
+        "worker_tree_mb": round(tree_n_mb, 1),
+        "single_worker_mb": round(tree_1_mb, 1),
+        "private_single_mb": round(private_single_mb, 1),
+        "naive_replication_mb": round(workers * private_single_mb, 1),
+        "memory_ratio_vs_one_worker": round(mem_ratio, 3),
+        "marginal_worker_mb": round(marginal_worker_mb, 1),
+        "marginal_ratio_vs_private": round(marginal_ratio, 3),
+        "max_marginal_ratio": budget["max_marginal_ratio"],
+        "cpu_count": cores,
+        "bit_identical": True,
+    }
+    payload["ipc"] = ipc
+    artifact_path.write_text(json.dumps(payload, indent=1))
+    print(f"wrote process-backend section to {artifact_path}")
+
+    assert qps_ratio >= budget["min_qps_ratio"], (
+        f"process backend only {qps_ratio:.2f}x the inproc replicas "
+        f"(need >= {budget['min_qps_ratio']}x on {cores} core(s))")
+    if workers > 1:
+        assert marginal_ratio <= budget["max_marginal_ratio"], (
+            f"each extra worker costs {marginal_worker_mb:.1f} MiB {metric} "
+            f"= {marginal_ratio:.2f}x a private-loading replica "
+            f"({private_single_mb:.1f} MiB; need <= "
+            f"{budget['max_marginal_ratio']}x — mmap'd artifacts should "
+            f"make additional workers far cheaper than private copies)")

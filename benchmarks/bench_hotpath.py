@@ -41,7 +41,12 @@ from repro import profile
 from repro.core import RNTrajRec, reference
 from repro.core.decoder import ReachabilityMask, interpolation_prior
 from repro.core.subgraph_gen import SubGraphGenerator
-from repro.experiments import bench_budget, get_dataset, small_model_config
+from repro.experiments import (
+    bench_budget,
+    bench_environment,
+    get_dataset,
+    small_model_config,
+)
 from repro.nn.tensor import scatter_sum_array
 from repro.trajectory import make_batch
 from repro.trajectory.dataset import constraint_for_fix
@@ -238,6 +243,7 @@ def run_hotpath_bench(trajectories: int = 48, batch_size: int = 24,
 
     return {
         "benchmark": "hotpath",
+        "env": bench_environment(),
         "dataset": "chengdu_x8",
         "budget": {"trajectories": trajectories, "batch": batch_size,
                    "repeats": repeats, "hidden": hidden},

@@ -51,7 +51,12 @@ from repro import nn
 from repro.core import RNTrajRec
 from repro.datasets import get_spec
 from repro.eval import evaluate_model
-from repro.experiments import bench_budget, quick_train_config, small_model_config
+from repro.experiments import (
+    bench_budget,
+    bench_environment,
+    quick_train_config,
+    small_model_config,
+)
 from repro.roadnet import generate_city
 from repro.roadnet.shortest_path import ShortestPathEngine
 from repro.scenarios import (
@@ -208,6 +213,7 @@ def run_scenarios_bench(trajectories: int = 160, epochs: int = 15,
 
     return {
         "benchmark": "scenarios",
+        "env": bench_environment(),
         "dataset": "chengdu",
         "budget": {"trajectories": trajectories, "epochs": epochs,
                    "hidden": hidden, "stream_sessions": stream_sessions},

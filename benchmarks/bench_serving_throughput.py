@@ -57,7 +57,13 @@ import numpy as np
 import pytest
 
 from repro.core import RNTrajRec
-from repro.experiments import bench_budget, get_dataset, quick_train_config, small_model_config
+from repro.experiments import (
+    bench_budget,
+    bench_environment,
+    get_dataset,
+    quick_train_config,
+    small_model_config,
+)
 from repro.serve import RecoveryRequest, RecoveryService, ServeConfig
 from repro.train import Trainer
 from repro.trajectory import (
@@ -267,6 +273,7 @@ def test_continuous_vs_run_to_completion(trained, mixed_workload):
 
     _write_artifact({
         "benchmark": "serving_throughput",
+        "env": bench_environment(),
         "dataset": "chengdu_x8",
         "budget": _serve_budget(),
         "num_parameters": int(model.num_parameters()),
@@ -331,7 +338,7 @@ def test_serving_throughput_vs_batch_size(trained):
               f"{row['latency_ms_p50']:>10.1f}{row['latency_ms_p95']:>10.1f}"
               f"{row['mean_batch_occupancy']:>10.2f}{row['max_batch_occupancy']:>9}")
 
-    _write_artifact({"slot_sweep_rows": rows})
+    _write_artifact({"env": bench_environment(), "slot_sweep_rows": rows})
 
     by_size = {row["max_batch_size"]: row for row in rows}
     # One slot cannot interleave; 16 must actually hold multiple in flight.

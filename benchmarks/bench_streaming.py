@@ -38,7 +38,7 @@ import numpy as np
 
 from repro.core import RNTrajRec
 from repro.datasets import get_spec
-from repro.experiments import bench_budget, small_model_config
+from repro.experiments import bench_budget, bench_environment, small_model_config
 from repro.roadnet import generate_city
 from repro.serve import RecoveryRequest, RecoveryService, ServeConfig
 from repro.stream import StreamConfig, StreamingRecoveryService
@@ -193,6 +193,7 @@ def run_streaming_bench(sessions: int = 3, length: int = 32,
     mean_scratch = float(np.mean(scratch_ms))
     return {
         "benchmark": "streaming",
+        "env": bench_environment(),
         "dataset": "chengdu",
         "budget": {"sessions": sessions, "length": length,
                    "keep_every": keep_every, "horizon": horizon,

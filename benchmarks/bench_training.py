@@ -42,7 +42,13 @@ import pytest
 
 from repro import nn
 from repro.core import RNTrajRec
-from repro.experiments import bench_budget, get_dataset, quick_train_config, small_model_config
+from repro.experiments import (
+    bench_budget,
+    bench_environment,
+    get_dataset,
+    quick_train_config,
+    small_model_config,
+)
 from repro.train import ParallelTrainer, Trainer, fork_available
 
 ARTIFACT_NAME = "BENCH_training.json"
@@ -127,6 +133,7 @@ def test_parallel_training_throughput():
     cache_dir.mkdir(parents=True, exist_ok=True)
     artifact = {
         "benchmark": "training_throughput",
+        "env": bench_environment(),
         "dataset": "chengdu_x8",
         "budget": budget,
         "usable_cores": cores,

@@ -453,6 +453,12 @@ def build_cluster(args) -> RecoveryCluster:
                  cache_capacity=args.cache_capacity)
     serve.update(shard_map.serve)
     shard_map = replace(shard_map, serve=serve)
+    if getattr(args, "backend", None):
+        # The CLI flag overrides every shard: one switch turns a map's
+        # thread replicas into forked worker processes (docs/cluster.md,
+        # "Execution backends").
+        shard_map = replace(shard_map, shards=tuple(
+            replace(spec, backend=args.backend) for spec in shard_map))
 
     def quick_train_factory(spec, network):
         data = load_dataset(spec.dataset, num_trajectories=args.trajectories)
@@ -600,6 +606,12 @@ def main(argv=None) -> None:
     c.add_argument("--max-batch-size", type=int, default=16)
     c.add_argument("--max-wait-ms", type=float, default=20.0)
     c.add_argument("--cache-capacity", type=int, default=1024)
+    c.add_argument("--backend", default=None,
+                   choices=("inproc", "process"),
+                   help="replica execution backend for every shard: thread "
+                        "replicas in this process, or forked worker "
+                        "processes for multi-core decode throughput "
+                        "(overrides the shard map; see docs/cluster.md)")
     c.add_argument("--warm", action="store_true",
                    help="materialize every shard before accepting traffic")
     c.add_argument("--artifact-dir", default=None, metavar="DIR",

@@ -22,6 +22,13 @@ from .router import RouteError, ShardRouter
 from .shard import Shard, ShardOverloaded
 from .shardmap import ShardMap, ShardSpec, load_shard_map, side_by_side
 from .telemetry import ClusterTelemetry
+from .workers import (
+    BackendDegraded,
+    WorkerCrashed,
+    WorkerError,
+    WorkerPool,
+    WorkerTimeout,
+)
 
 __all__ = [
     "ClusterResult",
@@ -35,4 +42,9 @@ __all__ = [
     "load_shard_map",
     "side_by_side",
     "ClusterTelemetry",
+    "BackendDegraded",
+    "WorkerCrashed",
+    "WorkerError",
+    "WorkerPool",
+    "WorkerTimeout",
 ]

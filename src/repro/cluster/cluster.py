@@ -225,7 +225,11 @@ class RecoveryCluster:
             "shards": shard_stats,
             # Process RSS joins latency/throughput as a first-class metric:
             # the memory-scaling benchmark and operators both read it here.
-            "memory": profile.memory_snapshot(),
+            # Process-backed shards contribute their worker pids, so the
+            # figure covers the whole serving tree (with PSS counting
+            # pages the workers share — mmap'd artifacts — only once).
+            "memory": profile.memory_snapshot(pids=[
+                pid for shard in self.shards for pid in shard.worker_pids()]),
         }
         if profile.PROFILER.enabled:
             payload["profile"] = profile.stats()

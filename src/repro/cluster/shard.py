@@ -22,12 +22,14 @@ import os
 import threading
 import time
 from concurrent.futures import Future
+from dataclasses import asdict
 from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
 from ..core.model import RNTrajRec
 from ..datasets.registry import get_spec
+from ..nn.tensor import Tensor
 from ..roadnet.artifacts import CityArtifacts
 from ..roadnet.generator import generate_city
 from ..roadnet.network import RoadNetwork
@@ -36,6 +38,7 @@ from ..serve.request import RecoveryRequest, RecoveryResponse
 from ..serve.service import RecoveryService, ServeConfig
 from ..serve.telemetry import ServingTelemetry
 from .shardmap import ShardSpec
+from .workers import WorkerError, WorkerFactory, WorkerPool
 
 #: model_factory(spec, network) -> eval-mode RNTrajRec (bundle-less shards)
 ModelFactory = Callable[[ShardSpec, RoadNetwork], RNTrajRec]
@@ -87,6 +90,7 @@ class Shard:
         self._network: Optional[RoadNetwork] = None
         self._registry: Optional[ModelRegistry] = None
         self._services: Optional[List[RecoveryService]] = None
+        self._pool: Optional[WorkerPool] = None  # backend == "process"
         self._inflight: List[int] = [0] * spec.replicas
         self._rr = 0
         self.shed_count = 0
@@ -169,11 +173,68 @@ class Shard:
             config = self.serve_config()
             self._network = network
             self._registry = registry
-            self._services = [RecoveryService(registry, config, shard=self.name)
-                              for _ in range(self.spec.replicas)]
+            if self.spec.backend == "process":
+                # Replicas become forked worker processes; the parent keeps
+                # the registry purely for generation-tag bookkeeping (and,
+                # on first boot, to freeze the artifacts the workers map).
+                self._pool = WorkerPool(
+                    self._worker_factory(network, registry, config),
+                    workers=self.spec.replicas, label=self.name,
+                    request_timeout=self.spec.worker_timeout or None)
+                self._pool.start()
+                self._services = []
+            else:
+                self._services = [
+                    RecoveryService(registry, config, shard=self.name)
+                    for _ in range(self.spec.replicas)]
             if self._artifact_dir:
                 self.artifact_seconds = time.perf_counter() - started
             return self
+
+    def _worker_factory(self, network: RoadNetwork, registry: ModelRegistry,
+                        config: ServeConfig) -> WorkerFactory:
+        """The closure each worker process runs post-fork to build its
+        serving stack from scratch (fresh locks, fresh scheduler thread).
+
+        With an artifact dir the child is fully independent: it mmap-loads
+        the same frozen city, so N workers share one physical copy via the
+        page cache.  Without one, the closure captures the parent's warmed
+        network and the active model's arrays — fork shares those pages
+        copy-on-write, and the child only rebuilds the cheap object shell
+        around them.
+        """
+        shard_name = self.name
+        if self._artifact_dir:
+            # warm() guaranteed the directory exists (loaded or just built).
+            path = self._artifact_path()
+
+            def factory() -> RecoveryService:
+                artifacts = CityArtifacts.load(path, mmap=True)
+                worker_registry = ModelRegistry(artifacts=artifacts)
+                worker_registry.register_artifact_model("default", activate=True)
+                return RecoveryService(worker_registry, config, shard=shard_name)
+
+            return factory
+
+        _, _, model = registry.active_ref()
+        state = model.state_dict()
+        model_config = model.config
+        road_cache = getattr(model.encoder, "_road_cache", None)
+        x_road = road_cache.data if road_cache is not None else None
+
+        def factory() -> RecoveryService:
+            worker_registry = ModelRegistry(network)
+            child = RNTrajRec(network, model_config,
+                              grid=worker_registry._shared_grid(model_config))
+            child.load_state_dict(state, copy=False)
+            worker_registry.add_loaded("default", child, activate=True)
+            if x_road is not None:
+                # Installed after add_loaded's eval() — mode flips clear
+                # the memo (see ModelRegistry.register_artifact_model).
+                child.encoder._road_cache = Tensor(x_road)
+            return RecoveryService(worker_registry, config, shard=shard_name)
+
+        return factory
 
     def _artifact_path(self) -> str:
         return os.path.join(self._artifact_dir, self.spec.name)
@@ -199,7 +260,12 @@ class Shard:
 
     def submit(self, request: RecoveryRequest) -> "Future[RecoveryResponse]":
         """Admit onto the least-recently-used non-saturated replica, or
-        shed with :class:`ShardOverloaded`; ``request`` is global-frame."""
+        shed with :class:`ShardOverloaded`; ``request`` is global-frame.
+
+        Admission is backend-agnostic: a process-backed shard bounds
+        in-flight work per worker exactly like an in-process one bounds it
+        per service; only the execution target differs.
+        """
         self.warm()
         with self._lock:
             replica = self._pick_replica()
@@ -208,14 +274,18 @@ class Shard:
                 raise ShardOverloaded(self.name, self.spec.max_inflight,
                                       self.spec.replicas)
             self._inflight[replica] += 1
-            service = self._services[replica]
+            pool = self._pool
+            service = None if pool is not None else self._services[replica]
 
         def _release(_: Future) -> None:
             with self._lock:
                 self._inflight[replica] -= 1
 
         try:
-            future = service.submit(self.localize(request))
+            if pool is not None:
+                future = pool.submit_to(replica, self.localize(request))
+            else:
+                future = service.submit(self.localize(request))
         except Exception:
             _release(None)
             raise
@@ -226,9 +296,16 @@ class Shard:
         """Replica 0's continuous decode scheduler (``None`` when the shard
         was configured with ``scheduler="microbatch"``).  The streaming
         affinity layer joins session suffix decodes to this slot table, so
-        one shard's streaming and one-shot traffic share a ragged batch."""
+        one shard's streaming and one-shot traffic share a ragged batch.
+
+        Process-backed shards return ``None``: their decode slots live in
+        other processes, so streaming sessions fall back to solo suffix
+        decodes in this process (see docs/cluster.md, Execution backends).
+        """
         self.warm()
         with self._lock:
+            if self._pool is not None:
+                return None
             return self._services[0].scheduler
 
     def _pick_replica(self) -> Optional[int]:
@@ -268,26 +345,73 @@ class Shard:
             else:
                 model_or_prefix.eval()
                 self._registry.add_loaded(name, model_or_prefix, activate=False)
-            if activate:
+            if self._pool is not None:
+                # The parent mirrors the registry ops without loading, so
+                # its generation counter stays in lockstep with the
+                # workers' — every ack tag must match the parent's tag.
+                payload = self._deploy_payload(name, model_or_prefix, activate)
+                if activate:
+                    self._registry.activate_unloaded(name)
+                    self._evict_stale(name, previous)
+                acks = self._pool.deploy(payload)
+                self._check_acks("deploy", acks)
+            elif activate:
                 self._registry.activate(name)
-                for stale in self._registry.names():
-                    if stale not in (name, previous):
-                        self._registry.evict(stale)
+                self._evict_stale(name, previous)
         with self._lock:
             self.deploy_count += 1
 
+    def _deploy_payload(self, name: str, model_or_prefix,
+                        activate: bool) -> Dict[str, Any]:
+        """What crosses the pipe for one deploy: a bundle path (workers
+        load from disk), or the model's arrays + config (workers rebuild
+        the object shell around them).  Never the network or grid."""
+        if isinstance(model_or_prefix, str):
+            return {"name": name, "activate": activate,
+                    "prefix": model_or_prefix}
+        road_cache = getattr(model_or_prefix.encoder, "_road_cache", None)
+        return {"name": name, "activate": activate,
+                "config": asdict(model_or_prefix.config),
+                "state": model_or_prefix.state_dict(),
+                "x_road": road_cache.data if road_cache is not None else None}
+
+    def _evict_stale(self, name: str, previous: Optional[str]) -> None:
+        for stale in self._registry.names():
+            if stale not in (name, previous):
+                self._registry.evict(stale)
+
+    def _check_acks(self, op: str, acks: List[Dict[str, Any]]) -> None:
+        """Every worker must ack with the parent's active generation tag;
+        divergence (a failed apply, a worker serving a stale generation)
+        is an operator-visible error, not a silent split-brain."""
+        _, expected = self._registry.active_tag()
+        bad = [ack for ack in acks
+               if ack.get("error") or ack.get("model_tag") != expected]
+        if bad:
+            raise WorkerError(
+                f"shard {self.name!r} {op} diverged on workers {bad}; "
+                f"expected model_tag {expected!r}")
+
     def swap(self, name: str) -> None:
         """Hot-swap this shard's active model; in-flight work finishes on
-        the old generation (see ``RecoveryService.swap_model``)."""
+        the old generation (see ``RecoveryService.swap_model``).  On a
+        process backend the swap is broadcast worker by worker — each
+        worker applies it atomically between requests and acks with the
+        new tag."""
         self.warm()
         with self._deploy_lock:
-            self._registry.activate(name)
+            if self._pool is not None:
+                self._registry.activate_unloaded(name)
+                acks = self._pool.swap(name)
+                self._check_acks("swap", acks)
+            else:
+                self._registry.activate(name)
 
     def active_model(self) -> Dict[str, str]:
         """{"model": active name, "model_tag": generation tag} (warm only)."""
         if not self.materialized:
             return {"model": "", "model_tag": ""}
-        name, tag, _ = self._registry.active_ref()
+        name, tag = self._registry.active_tag()
         return {"model": name, "model_tag": tag}
 
     # ------------------------------------------------------------------
@@ -302,6 +426,7 @@ class Shard:
         with self._lock:
             payload: Dict[str, Any] = {
                 "materialized": self._services is not None,
+                "backend": self.spec.backend,
                 "replicas": self.spec.replicas,
                 "max_inflight": self.spec.max_inflight,
                 "inflight": sum(self._inflight),
@@ -312,6 +437,33 @@ class Shard:
                 payload["artifacts"] = {"source": self.artifact_source,
                                         "seconds": round(self.artifact_seconds, 3)}
             services = list(self._services or ())
+            pool = self._pool
+        if pool is not None:
+            payload.update(self.active_model())
+            pool_stats = pool.stats()
+            if latencies is None:
+                latencies = pool.latencies()
+            else:
+                latencies = list(latencies)
+            latencies.sort()
+            requests = pool_stats["requests"]
+            payload.update({
+                "requests": requests,
+                "cache_hits": pool_stats["cache_hits"],
+                "cache_hit_rate": round(pool_stats["cache_hits"] / requests, 4)
+                if requests else 0.0,
+                "errors": pool_stats["errors"],
+                "requests_by_model": pool_stats["requests_by_model"],
+                "latency_ms_p50": round(
+                    1000.0 * ServingTelemetry._percentile(latencies, 0.50), 3),
+                "latency_ms_p99": round(
+                    1000.0 * ServingTelemetry._percentile(latencies, 0.99), 3),
+                "crashes": pool_stats["crashes"],
+                "respawns": pool_stats["respawns"],
+                "degraded": pool_stats["degraded"],
+                "worker_stats": pool_stats["workers"],
+            })
+            return payload
         if not services:
             return payload
 
@@ -357,10 +509,20 @@ class Shard:
         """All replicas' latency observations (seconds), for cluster rollup."""
         with self._lock:
             services = list(self._services or ())
+            pool = self._pool
+        if pool is not None:
+            return pool.latencies()
         out: List[float] = []
         for service in services:
             out.extend(service.telemetry.latencies())
         return out
+
+    def worker_pids(self) -> List[int]:
+        """Alive worker-process pids (empty for in-process shards) — the
+        cluster folds them into its children-aware memory snapshot."""
+        with self._lock:
+            pool = self._pool
+        return pool.pids() if pool is not None else []
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -369,5 +531,8 @@ class Shard:
                 return
             self._closed = True
             services = list(self._services or ())
+            pool = self._pool
         for service in services:
             service.close()
+        if pool is not None:
+            pool.close(drain=True)

@@ -55,6 +55,14 @@ class ShardSpec:
     max_inflight: int = 32            # per-replica admission bound
     margin: float = DEFAULT_MARGIN    # bbox slack around the city rectangle
     bbox: Optional[BBox] = None       # explicit global bbox (overrides derived)
+    # "inproc": replicas are RecoveryService threads in this process.
+    # "process": replicas are forked worker processes (repro.cluster.workers)
+    # — true multi-core decode throughput; see docs/cluster.md.
+    backend: str = "inproc"
+    # Per-request wall-clock bound for process workers (seconds); a worker
+    # exceeding it is killed and respawned and the future fails with a
+    # typed WorkerTimeout.  0 disables the watchdog.  Ignored for inproc.
+    worker_timeout: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -63,6 +71,13 @@ class ShardSpec:
             raise ValueError(f"shard {self.name!r}: replicas must be >= 1")
         if self.max_inflight < 1:
             raise ValueError(f"shard {self.name!r}: max_inflight must be >= 1")
+        if self.backend not in ("inproc", "process"):
+            raise ValueError(
+                f"shard {self.name!r}: backend must be 'inproc' or "
+                f"'process'; got {self.backend!r}")
+        if self.worker_timeout < 0:
+            raise ValueError(
+                f"shard {self.name!r}: worker_timeout must be >= 0")
         if self.dataset is None and self.bbox is None:
             raise ValueError(
                 f"shard {self.name!r} needs a dataset name or an explicit bbox")

@@ -5,6 +5,7 @@ from .harness import (
     SR_THRESHOLDS,
     ExperimentResult,
     bench_budget,
+    bench_environment,
     build_method,
     format_table,
     get_dataset,
@@ -19,6 +20,7 @@ __all__ = [
     "SR_THRESHOLDS",
     "ExperimentResult",
     "bench_budget",
+    "bench_environment",
     "build_method",
     "format_table",
     "get_dataset",

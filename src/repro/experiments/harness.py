@@ -53,6 +53,28 @@ def bench_budget() -> Dict[str, int]:
     }
 
 
+def bench_environment(**extra) -> Dict[str, object]:
+    """The self-describing header stamped into every ``BENCH_*.json``.
+
+    Perf artifacts travel between runner shapes (a 1-core dev box, 2-4
+    vCPU CI runners, a wide local machine), and numbers like a QPS
+    scaling ratio are uninterpretable without knowing the shape that
+    produced them — the process-backend gate literally changes with
+    ``cpu_count``.  Each artifact therefore records its environment, plus
+    benchmark-specific fields via ``extra`` (e.g. ``backend=\"process\"``).
+    """
+    import platform
+
+    env: Dict[str, object] = {
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "backend": "inproc",
+    }
+    env.update(extra)
+    return env
+
+
 def small_model_config(hidden: int = 32, **overrides) -> RNTrajRecConfig:
     """The repo's standard small-CPU model configuration, shared by the
     harness, serving CLI, examples and benchmarks."""

@@ -51,6 +51,8 @@ __all__ = [
     "enable",
     "disable",
     "memory_snapshot",
+    "proc_pss_mb",
+    "proc_rss_mb",
     "reset",
     "stats",
     "report",
@@ -224,8 +226,56 @@ def report() -> str:
     return PROFILER.report()
 
 
-def memory_snapshot() -> Dict[str, float]:
-    """Current and peak resident set size of this process, in MiB.
+def _read_status_mb(pid) -> Dict[str, float]:
+    """{"rss_mb", "peak_rss_mb"} of one pid from ``/proc/<pid>/status``
+    (zeros if the process is gone or /proc is unavailable)."""
+    current = peak = 0.0
+    try:
+        with open(f"/proc/{pid}/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    current = int(line.split()[1]) / 1024.0
+                elif line.startswith("VmHWM:"):
+                    peak = int(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    return {"rss_mb": current, "peak_rss_mb": peak}
+
+
+def proc_rss_mb(pid) -> float:
+    """One process's current VmRSS in MiB (0.0 if unreadable) — the
+    cluster's per-worker memory gauge for process-backed shards."""
+    return round(_read_status_mb(pid)["rss_mb"], 3)
+
+
+def proc_pss_mb(pid) -> Optional[float]:
+    """One process's proportional set size in MiB (None where the kernel
+    hides ``smaps_rollup``).  The memory-scaling benchmark sums this over
+    worker pids: pages N workers share — the mmap'd city artifacts, the
+    fork-shared model — are charged once across the tree, so the figure
+    answers "what do N replicas actually cost" instead of N x VmRSS."""
+    return _read_pss_mb(pid)
+
+
+def _read_pss_mb(pid) -> Optional[float]:
+    """Proportional set size of one pid (``/proc/<pid>/smaps_rollup``),
+    or None where the kernel doesn't expose it.  PSS divides each shared
+    page by its number of sharers, so summing it over a worker tree
+    counts an mmap'd city artifact (or fork-shared model) once instead
+    of N times."""
+    try:
+        with open(f"/proc/{pid}/smaps_rollup") as handle:
+            for line in handle:
+                if line.startswith("Pss:"):
+                    return int(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    return None
+
+
+def memory_snapshot(pids=()) -> Dict[str, float]:
+    """Resident set size of this process — plus, with ``pids``, its
+    worker children — in MiB.
 
     Memory joins latency/throughput as a first-class tracked metric: the
     cluster stats rollup, serving telemetry, and the ``bench_cluster``
@@ -233,19 +283,41 @@ def memory_snapshot() -> Dict[str, float]:
     Reads ``/proc/self/status`` (``VmRSS`` / ``VmHWM``); where /proc is
     unavailable it falls back to ``resource.getrusage`` peak RSS and
     reports 0.0 for the current value.
+
+    ``pids`` names worker processes (a process-backed shard's replicas)
+    to fold in: ``rss_mb`` / ``peak_rss_mb`` become sums over the whole
+    tree, and the snapshot gains ``processes``, ``children_rss_mb`` and —
+    where ``smaps_rollup`` is readable — ``pss_mb``, the proportional set
+    size that counts pages shared between the workers (mmap'd artifacts,
+    fork-inherited networks) **once**.  Plain ``rss_mb`` over N sharing
+    workers multiple-counts those pages; compare the two to see how much
+    of the fleet is truly shared.
     """
-    current = peak = 0.0
-    try:
-        with open("/proc/self/status") as handle:
-            for line in handle:
-                if line.startswith("VmRSS:"):
-                    current = int(line.split()[1]) / 1024.0
-                elif line.startswith("VmHWM:"):
-                    peak = int(line.split()[1]) / 1024.0
-    except OSError:
+    own = _read_status_mb("self")
+    current, peak = own["rss_mb"], own["peak_rss_mb"]
+    if current == 0.0 and peak == 0.0:
         try:
             import resource
             peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
         except Exception:
             pass
-    return {"rss_mb": round(current, 3), "peak_rss_mb": round(peak, 3)}
+    payload = {"rss_mb": current, "peak_rss_mb": peak}
+    if pids:
+        children = 0.0
+        pss_total = _read_pss_mb("self")
+        for pid in pids:
+            child = _read_status_mb(pid)
+            children += child["rss_mb"]
+            payload["peak_rss_mb"] += child["peak_rss_mb"]
+            if pss_total is not None:
+                child_pss = _read_pss_mb(pid)
+                pss_total = (None if child_pss is None
+                             else pss_total + child_pss)
+        payload["rss_mb"] += children
+        payload["children_rss_mb"] = round(children, 3)
+        payload["processes"] = len(pids) + 1
+        if pss_total is not None:
+            payload["pss_mb"] = round(pss_total, 3)
+    payload["rss_mb"] = round(payload["rss_mb"], 3)
+    payload["peak_rss_mb"] = round(payload["peak_rss_mb"], 3)
+    return payload

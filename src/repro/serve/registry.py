@@ -161,6 +161,34 @@ class ModelRegistry:
                         and self._generations.get(name, 0) == generation):
                     return name, f"{name}#{generation}", model
 
+    def active_tag(self) -> Tuple[str, str]:
+        """(active name, generation tag) without loading the model.
+
+        The process-backend parent tracks which generation its workers
+        serve without ever materializing a model of its own; the loaded
+        path keeps using :meth:`active_ref` for its atomicity guarantee.
+        """
+        with self._lock:
+            name = self._active
+            if name is None:
+                raise RuntimeError("registry has no active model")
+            return name, f"{name}#{self._generations.get(name, 0)}"
+
+    def activate_unloaded(self, name: str) -> None:
+        """Make ``name`` active *without* loading it.
+
+        A process-backend parent registry is pure bookkeeping — its
+        worker processes load and serve the actual models — so a swap
+        must not pull a checkpoint into the parent.  The name must be
+        registered; serving from this registry afterwards lazily loads
+        as usual.
+        """
+        with self._lock:
+            if name not in self._prefixes and name not in self._loaded:
+                raise KeyError(
+                    f"unknown model {name!r}; registered: {self.names()}")
+            self._active = name
+
     def evict(self, name: str) -> None:
         """Drop ``name``'s loaded model (in-flight batches keep their own
         reference, so they finish unharmed).  A bundle-backed name stays

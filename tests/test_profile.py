@@ -125,3 +125,46 @@ class TestHotpathBenchSmoke:
         assert "decode.greedy" in artifact["profile_sections"]
         assert artifact["required"].keys() == {"decode_greedy_steps",
                                                "subgraph_generation"}
+
+
+class TestMemorySnapshot:
+    def test_self_only_shape_is_unchanged(self):
+        snap = profile.memory_snapshot()
+        assert set(snap) == {"rss_mb", "peak_rss_mb"}
+        assert snap["rss_mb"] > 0
+        assert snap["peak_rss_mb"] >= snap["rss_mb"] * 0.5
+
+    def test_children_are_folded_in(self):
+        """With worker pids the snapshot covers the whole process tree:
+        rss sums parent + children, and pss (when the kernel exposes
+        smaps_rollup) counts pages shared between them only once."""
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        stop = ctx.Event()
+        child = ctx.Process(target=stop.wait, daemon=True)
+        child.start()
+        try:
+            solo = profile.memory_snapshot()
+            tree = profile.memory_snapshot(pids=[child.pid])
+            assert tree["processes"] == 2
+            assert tree["children_rss_mb"] > 0
+            assert tree["rss_mb"] == pytest.approx(
+                solo["rss_mb"] + tree["children_rss_mb"], rel=0.25)
+            if "pss_mb" in tree:  # kernel-dependent, but never nonsense
+                assert 0 < tree["pss_mb"] <= tree["rss_mb"] * 1.01
+        finally:
+            stop.set()
+            child.join(timeout=10)
+
+    def test_dead_pid_contributes_nothing(self):
+        solo = profile.memory_snapshot()
+        tree = profile.memory_snapshot(pids=[2 ** 22 + 1])  # no such pid
+        assert tree["children_rss_mb"] == 0
+        assert tree["rss_mb"] == pytest.approx(solo["rss_mb"], rel=0.25)
+
+    def test_proc_rss_is_positive_for_live_pid(self):
+        import os
+
+        assert profile.proc_rss_mb(os.getpid()) > 0
+        assert profile.proc_rss_mb(2 ** 22 + 1) == 0.0
